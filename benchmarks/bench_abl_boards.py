@@ -1,0 +1,11 @@
+"""cross-board comparison (see repro.bench.exp_ablations.abl_boards)."""
+
+from repro.bench.exp_ablations import abl_boards
+
+from conftest import run_and_render
+
+
+def test_abl_boards(benchmark, harness):
+    """Regenerate: cross-board comparison."""
+    result = run_and_render(benchmark, abl_boards, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""fusion-rule ablation (see repro.bench.exp_ablations.abl_fusion)."""
+
+from repro.bench.exp_ablations import abl_fusion
+
+from conftest import run_and_render
+
+
+def test_abl_fusion(benchmark, harness):
+    """Regenerate: fusion-rule ablation."""
+    result = run_and_render(benchmark, abl_fusion, harness)
+    assert result.rows

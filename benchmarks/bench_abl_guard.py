@@ -1,0 +1,11 @@
+"""guard-band ablation (see repro.bench.exp_ablations.abl_guard_band)."""
+
+from repro.bench.exp_ablations import abl_guard_band
+
+from conftest import run_and_render
+
+
+def test_abl_guard(benchmark, harness):
+    """Regenerate: guard-band ablation."""
+    result = run_and_render(benchmark, abl_guard_band, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Regulator ablation: PID vs statistics-aware (future work, §V-D)."""
+
+from repro.bench.exp_ablations import abl_regulator
+
+from conftest import run_and_render
+
+
+def test_abl_regulator(benchmark, harness):
+    """Regenerate: regulator response to a workload jump."""
+    result = run_and_render(benchmark, abl_regulator, harness)
+    assert result.rows

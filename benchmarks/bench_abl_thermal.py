@@ -1,0 +1,11 @@
+"""Thermal-throttling failure injection (see repro.bench.exp_ablations)."""
+
+from repro.bench.exp_ablations import abl_thermal
+
+from conftest import run_and_render
+
+
+def test_abl_thermal(benchmark, harness):
+    """Regenerate: recovery from a mid-stream thermal cap."""
+    result = run_and_render(benchmark, abl_thermal, harness)
+    assert result.rows

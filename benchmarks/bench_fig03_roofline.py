@@ -1,0 +1,11 @@
+"""Fig 3 roofline of big/little cores (see repro.bench.exp_microbench.fig03_roofline)."""
+
+from repro.bench.exp_microbench import fig03_roofline
+
+from conftest import run_and_render
+
+
+def test_fig03_roofline(benchmark, harness):
+    """Regenerate: Fig 3 roofline of big/little cores."""
+    result = run_and_render(benchmark, fig03_roofline, harness)
+    assert result.rows

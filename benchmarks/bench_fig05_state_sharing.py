@@ -1,0 +1,11 @@
+"""Fig 5 shared vs private state (see repro.bench.exp_endtoend.fig05_state_sharing)."""
+
+from repro.bench.exp_endtoend import fig05_state_sharing
+
+from conftest import run_and_render
+
+
+def test_fig05_state_sharing(benchmark, harness):
+    """Regenerate: Fig 5 shared vs private state."""
+    result = run_and_render(benchmark, fig05_state_sharing, harness)
+    assert result.rows

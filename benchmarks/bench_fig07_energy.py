@@ -1,0 +1,11 @@
+"""Fig 7 end-to-end energy (see repro.bench.exp_endtoend.fig07_energy)."""
+
+from repro.bench.exp_endtoend import fig07_energy
+
+from conftest import run_and_render
+
+
+def test_fig07_energy(benchmark, harness):
+    """Regenerate: Fig 7 end-to-end energy."""
+    result = run_and_render(benchmark, fig07_energy, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Fig 8 end-to-end CLCV (see repro.bench.exp_endtoend.fig08_clcv)."""
+
+from repro.bench.exp_endtoend import fig08_clcv
+
+from conftest import run_and_render
+
+
+def test_fig08_clcv(benchmark, harness):
+    """Regenerate: Fig 8 end-to-end CLCV."""
+    result = run_and_render(benchmark, fig08_clcv, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Fig 9 dynamic-workload adaptation (see repro.bench.exp_endtoend)."""
+
+from repro.bench.exp_endtoend import fig09_adaptivity
+
+from conftest import run_and_render
+
+
+def test_fig09_adaptive(benchmark, harness):
+    """Regenerate: Fig 9 adaptation with and without PID regulation."""
+    result = run_and_render(benchmark, fig09_adaptivity, harness)
+    assert result.rows

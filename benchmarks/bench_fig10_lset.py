@@ -1,0 +1,11 @@
+"""Fig 10 varying latency constraint (see repro.bench.exp_sensitivity.fig10_latency_constraint)."""
+
+from repro.bench.exp_sensitivity import fig10_latency_constraint
+
+from conftest import run_and_render
+
+
+def test_fig10_lset(benchmark, harness):
+    """Regenerate: Fig 10 varying latency constraint."""
+    result = run_and_render(benchmark, fig10_latency_constraint, harness)
+    assert result.rows

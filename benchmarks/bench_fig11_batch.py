@@ -1,0 +1,11 @@
+"""Fig 11 varying batch size (see repro.bench.exp_sensitivity.fig11_batch_size)."""
+
+from repro.bench.exp_sensitivity import fig11_batch_size
+
+from conftest import run_and_render
+
+
+def test_fig11_batch(benchmark, harness):
+    """Regenerate: Fig 11 varying batch size."""
+    result = run_and_render(benchmark, fig11_batch_size, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Fig 12 vocabulary duplication (see repro.bench.exp_sensitivity.fig12_vocabulary_duplication)."""
+
+from repro.bench.exp_sensitivity import fig12_vocabulary_duplication
+
+from conftest import run_and_render
+
+
+def test_fig12_vocab_dup(benchmark, harness):
+    """Regenerate: Fig 12 vocabulary duplication."""
+    result = run_and_render(benchmark, fig12_vocabulary_duplication, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Fig 13 symbol duplication (see repro.bench.exp_sensitivity.fig13_symbol_duplication)."""
+
+from repro.bench.exp_sensitivity import fig13_symbol_duplication
+
+from conftest import run_and_render
+
+
+def test_fig13_symbol_dup(benchmark, harness):
+    """Regenerate: Fig 13 symbol duplication."""
+    result = run_and_render(benchmark, fig13_symbol_duplication, harness)
+    assert result.rows

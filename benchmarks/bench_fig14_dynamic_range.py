@@ -1,0 +1,11 @@
+"""Fig 14 dynamic range (see repro.bench.exp_sensitivity.fig14_dynamic_range)."""
+
+from repro.bench.exp_sensitivity import fig14_dynamic_range
+
+from conftest import run_and_render
+
+
+def test_fig14_dynamic_range(benchmark, harness):
+    """Regenerate: Fig 14 dynamic range."""
+    result = run_and_render(benchmark, fig14_dynamic_range, harness)
+    assert result.rows

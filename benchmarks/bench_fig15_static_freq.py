@@ -1,0 +1,11 @@
+"""Fig 15 static frequency sweep (see repro.bench.exp_system.fig15_static_frequency)."""
+
+from repro.bench.exp_system import fig15_static_frequency
+
+from conftest import run_and_render
+
+
+def test_fig15_static_freq(benchmark, harness):
+    """Regenerate: Fig 15 static frequency sweep."""
+    result = run_and_render(benchmark, fig15_static_frequency, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Fig 16 DVFS strategies (see repro.bench.exp_system.fig16_dvfs)."""
+
+from repro.bench.exp_system import fig16_dvfs
+
+from conftest import run_and_render
+
+
+def test_fig16_dvfs(benchmark, harness):
+    """Regenerate: Fig 16 DVFS strategies."""
+    result = run_and_render(benchmark, fig16_dvfs, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Fig 17 break-down analysis (see repro.bench.exp_system.fig17_breakdown)."""
+
+from repro.bench.exp_system import fig17_breakdown
+
+from conftest import run_and_render
+
+
+def test_fig17_breakdown(benchmark, harness):
+    """Regenerate: Fig 17 break-down analysis."""
+    result = run_and_render(benchmark, fig17_breakdown, harness)
+    assert result.rows

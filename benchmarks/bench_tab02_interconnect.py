@@ -1,0 +1,11 @@
+"""Table II interconnect paths (see repro.bench.exp_microbench.tab02_interconnect)."""
+
+from repro.bench.exp_microbench import tab02_interconnect
+
+from conftest import run_and_render
+
+
+def test_tab02_interconnect(benchmark, harness):
+    """Regenerate: Table II interconnect paths."""
+    result = run_and_render(benchmark, tab02_interconnect, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Table IV task comparison (see repro.bench.exp_microbench.tab04_task_comparison)."""
+
+from repro.bench.exp_microbench import tab04_task_comparison
+
+from conftest import run_and_render
+
+
+def test_tab04_tasks(benchmark, harness):
+    """Regenerate: Table IV task comparison."""
+    result = run_and_render(benchmark, tab04_task_comparison, harness)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Table V model correctness (see repro.bench.exp_microbench.tab05_model_accuracy)."""
+
+from repro.bench.exp_microbench import tab05_model_accuracy
+
+from conftest import run_and_render
+
+
+def test_tab05_model_accuracy(benchmark, harness):
+    """Regenerate: Table V model correctness."""
+    result = run_and_render(benchmark, tab05_model_accuracy, harness)
+    assert result.rows

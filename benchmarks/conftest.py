@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one table/figure of the paper (same rows/series)
+and prints it; `pytest benchmarks/ --benchmark-only` runs them all.
+Repetitions default to the paper's 100; set REPRO_REPETITIONS to trade
+fidelity for speed. The harness cache is shared across benches, so
+fig7/fig8 (same grid) and repeated workloads cost nothing twice.
+"""
+
+import pytest
+
+from repro.bench.harness import Harness
+
+
+@pytest.fixture(scope="session")
+def harness():
+    return Harness()
+
+
+def run_and_render(benchmark, experiment, harness, **options):
+    """Benchmark one experiment run and print its table."""
+    result = benchmark.pedantic(
+        lambda: experiment(harness, **options), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,105 @@
+"""An IoT gateway pipeline: framing, sharded state, and integrity.
+
+A gateway aggregates telemetry from many field devices and relays it
+upstream. This example wires together the library's streaming pieces:
+
+* a :class:`PartitionedCodec` — six lock-free dictionary shards (the
+  paper's future-work state management) so the gateway could replicate
+  its state-update workers without the Fig 5 lock or ratio loss;
+* :class:`CompressionSession` framing with sequence numbers and
+  checksums, so the uplink can detect loss and corruption;
+* a corruption drill: flip one bit in transit and watch the decoder
+  reject the frame instead of delivering bad data.
+
+Run:  python examples/gateway_pipeline.py
+"""
+
+import numpy as np
+
+from repro.compression import (
+    CompressionSession,
+    DecompressionSession,
+    PartitionedCodec,
+    Tdic32,
+    get_codec,
+)
+from repro.datasets import get_dataset
+from repro.errors import CorruptStreamError
+
+BATCH_BYTES = 32768
+BATCHES = 8
+SHARDS = 6
+
+
+class PartitionedAdapter:
+    """Adapts PartitionedCodec to the session's codec interface."""
+
+    stateful = True
+
+    def __init__(self, shards: int) -> None:
+        self._codec = PartitionedCodec(shards=shards)
+
+    def compress(self, batch: bytes):
+        payload = self._codec.compress(batch)
+
+        class _Result:  # minimal result surface the session needs
+            pass
+
+        result = _Result()
+        result.payload = payload
+        return result
+
+    def decompress(self, payload: bytes) -> bytes:
+        return self._codec.decompress(payload)
+
+
+def main() -> None:
+    telemetry = get_dataset("rovio")
+    batches = list(telemetry.stream(BATCH_BYTES, BATCHES, seed=7))
+
+    # --- ratio comparison: monolithic vs sharded state ------------------
+    monolithic = get_codec("tdic32")
+    monolithic_bytes = sum(
+        monolithic.compress(batch).output_size for batch in batches
+    )
+    sharded = PartitionedCodec(shards=SHARDS)
+    sharded_bytes = sum(len(sharded.compress(batch)) for batch in batches)
+    raw_bytes = sum(len(batch) for batch in batches)
+    print(f"telemetry:            {raw_bytes} bytes in {BATCHES} batches")
+    print(f"monolithic tdic32:    {raw_bytes / monolithic_bytes:.2f}x")
+    print(
+        f"{SHARDS}-shard partitioned: {raw_bytes / sharded_bytes:.2f}x "
+        "(routing stream included; state now lock-free for "
+        f"{SHARDS} parallel workers)"
+    )
+
+    # --- framed uplink with integrity -----------------------------------
+    encoder = CompressionSession(PartitionedAdapter(SHARDS))
+    wire = b"".join(encoder.write_batch(batch) for batch in batches)
+    print(f"\nuplink stream:        {len(wire)} bytes in "
+          f"{encoder.frames_written} frames "
+          f"(ratio {encoder.compression_ratio:.2f} with framing)")
+
+    decoder = DecompressionSession(PartitionedAdapter(SHARDS))
+    received = []
+    for offset in range(0, len(wire), 4093):  # arbitrary packetization
+        received.extend(decoder.feed(wire[offset:offset + 4093]))
+    decoder.finish()
+    assert received == batches
+    print("cloud side:           all frames decoded, payloads verified")
+
+    # --- corruption drill -------------------------------------------------
+    tampered = bytearray(wire)
+    tampered[len(tampered) // 2] ^= 0x40
+    drill = DecompressionSession(PartitionedAdapter(SHARDS))
+    try:
+        drill.feed(bytes(tampered))
+        drill.finish()
+    except CorruptStreamError as error:
+        print(f"corruption drill:     rejected as expected ({error})")
+    else:
+        raise AssertionError("corruption must not pass silently")
+
+
+if __name__ == "__main__":
+    main()

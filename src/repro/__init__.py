@@ -1,0 +1,21 @@
+"""CStream reproduction: parallelizing stream compression on asymmetric
+multicores (Zeng & Zhang, ICDE 2023).
+
+Public entry points:
+
+* :class:`repro.CStream` — the framework facade (profile → decompose →
+  schedule → execute on the simulated rk3399);
+* :mod:`repro.compression` — the three stream codecs with cost
+  instrumentation;
+* :mod:`repro.datasets` — workload generators (Sensor/Rovio/Stock/Micro);
+* :mod:`repro.simcore` — the asymmetric-multicore board simulator;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+from repro.core.framework import CStream
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["CStream", "ReproError", "__version__"]

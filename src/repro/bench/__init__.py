@@ -1,0 +1,95 @@
+"""Experiment harness and the registry of the paper's tables/figures.
+
+Every entry of :data:`EXPERIMENTS` regenerates one table or figure of
+the paper's evaluation; ``python -m repro.bench fig7`` prints it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.bench.exp_ablations import (
+    abl_boards,
+    abl_fusion,
+    abl_guard_band,
+    abl_regulator,
+    abl_thermal,
+)
+from repro.bench.exp_endtoend import (
+    fig05_state_sharing,
+    fig07_energy,
+    fig08_clcv,
+    fig09_adaptivity,
+)
+from repro.bench.exp_microbench import (
+    fig03_roofline,
+    tab02_interconnect,
+    tab04_task_comparison,
+    tab05_model_accuracy,
+)
+from repro.bench.exp_sensitivity import (
+    fig10_latency_constraint,
+    fig11_batch_size,
+    fig12_vocabulary_duplication,
+    fig13_symbol_duplication,
+    fig14_dynamic_range,
+)
+from repro.bench.exp_system import (
+    fig15_static_frequency,
+    fig16_dvfs,
+    fig17_breakdown,
+)
+from repro.bench.experiments import ExperimentResult
+from repro.bench.harness import (
+    Harness,
+    WorkloadSpec,
+    default_harness,
+    format_table,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "Harness",
+    "WorkloadSpec",
+    "default_harness",
+    "format_table",
+    "run_experiment",
+]
+
+#: experiment id -> callable(harness=None, ...) -> ExperimentResult
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": fig03_roofline,
+    "tab2": tab02_interconnect,
+    "fig5": fig05_state_sharing,
+    "fig7": fig07_energy,
+    "fig8": fig08_clcv,
+    "fig9": fig09_adaptivity,
+    "fig10": fig10_latency_constraint,
+    "fig11": fig11_batch_size,
+    "fig12": fig12_vocabulary_duplication,
+    "fig13": fig13_symbol_duplication,
+    "fig14": fig14_dynamic_range,
+    "fig15": fig15_static_frequency,
+    "fig16": fig16_dvfs,
+    "fig17": fig17_breakdown,
+    "tab4": tab04_task_comparison,
+    "tab5": tab05_model_accuracy,
+    # Ablations of this reproduction's own design choices (not paper
+    # figures; see DESIGN.md).
+    "abl_guard": abl_guard_band,
+    "abl_fusion": abl_fusion,
+    "abl_regulator": abl_regulator,
+    "abl_boards": abl_boards,
+    "abl_thermal": abl_thermal,
+}
+
+
+def run_experiment(experiment_id: str, **options) -> ExperimentResult:
+    """Run one experiment by its paper id (e.g. ``"fig7"``)."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return experiment(**options)

@@ -1,0 +1,73 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench            # list experiments
+    python -m repro.bench fig7       # run one
+    python -m repro.bench all        # run everything
+    python -m repro.bench fig7 --repetitions 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.bench import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="regenerate the CStream paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig3, fig5, fig7-17, tab2/4/5, abl_*), "
+        "'all', or 'report'",
+    )
+    parser.add_argument(
+        "--output",
+        default="results.md",
+        help="report output path (only with 'report')",
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="measurement repetitions per cell (default: paper's 100)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for experiment_id, function in EXPERIMENTS.items():
+            summary = (function.__doc__ or "").strip().splitlines()[0]
+            print(f"  {experiment_id:6s} {summary}")
+        return 0
+
+    if args.experiment == "report":
+        from repro.bench.report import generate_report
+
+        generate_report(args.output)
+        print(f"report written to {args.output}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        start = time.time()
+        options = {}
+        signature = inspect.signature(EXPERIMENTS[experiment_id])
+        if args.repetitions is not None and "repetitions" in signature.parameters:
+            options["repetitions"] = args.repetitions
+        result = run_experiment(experiment_id, **options)
+        print(result.render())
+        print(f"[{experiment_id} took {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

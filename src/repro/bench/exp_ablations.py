@@ -1,0 +1,408 @@
+"""Ablation studies beyond the paper's figures.
+
+DESIGN.md calls out the reproduction's own design choices; these
+experiments quantify them:
+
+* ``abl_guard`` — the scheduler's guard band (accept plans only up to
+  ``guard·L_set``): energy paid vs CLCV risk as the band tightens.
+* ``abl_fusion`` — the fusion rule (§IV-B) vs never fusing and vs the
+  fully fused (coarse) pipeline.
+* ``abl_regulator`` — PID feedback (Eq 8) vs the statistics-aware
+  controller the paper sketches as future work: batches-to-readapt and
+  energy during the transient after a workload jump.
+* ``abl_boards`` — the same workloads planned on the rk3399 vs a
+  Jetson-TX2-class board (future-work hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.harness import Harness, WorkloadSpec, default_harness
+from repro.compression import get_codec
+from repro.core.adaptive import FeedbackRegulator
+from repro.core.baselines import (
+    CStreamMechanism,
+    MechanismOutcome,
+    WorkloadContext,
+)
+from repro.core.decomposition import decompose
+from repro.core.profiler import profile_workload
+from repro.core.scheduler import Scheduler
+from repro.core.statistics_regulator import StatisticsAwareRegulator
+from repro.core.task import Task, TaskGraph
+from repro.datasets import MicroDataset
+from repro.runtime.executor import (
+    ExecutionConfig,
+    MechanismDynamics,
+    PipelineExecutor,
+)
+from repro.simcore.boards import jetson_tx2_like, rk3399
+
+__all__ = [
+    "abl_guard_band",
+    "abl_fusion",
+    "abl_regulator",
+    "abl_boards",
+    "abl_thermal",
+]
+
+
+def abl_guard_band(
+    harness: Optional[Harness] = None,
+    repetitions: Optional[int] = None,
+    bands: Sequence[float] = (1.0, 0.99, 0.95, 0.90),
+) -> ExperimentResult:
+    """Guard-band sweep on tcomp32-Rovio: tighter bands trade energy
+    for certainty of meeting L_set."""
+    harness = harness or default_harness()
+    spec = WorkloadSpec.of("tcomp32", "rovio")
+    context = harness.context(spec)
+    rows = []
+    values = {}
+    for band in bands:
+        model = context.cost_model(context.fine_graph, guard_band=band)
+        result = Scheduler(model).schedule(best_effort=True)
+        outcome = MechanismOutcome(
+            mechanism=f"guard={band}",
+            graph=context.fine_graph,
+            plan=result.plan,
+            dynamics=MechanismDynamics(context_switches_per_kb=0.01),
+        )
+        measured = harness.run_outcome(spec, outcome, repetitions=repetitions)
+        values[band] = {
+            "E": measured.mean_energy_uj_per_byte,
+            "CLCV": measured.clcv,
+            "headroom": 1.0
+            - result.estimate.latency_us_per_byte / spec.latency_constraint,
+        }
+        rows.append(
+            (
+                f"{band:.2f}",
+                f"{measured.mean_energy_uj_per_byte:.3f}",
+                f"{measured.clcv:.2f}",
+                f"{values[band]['headroom']:.1%}",
+                result.plan.describe(),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_guard",
+        title="scheduler guard-band ablation, tcomp32-Rovio",
+        headers=("guard", "E (µJ/B)", "CLCV", "headroom", "plan"),
+        rows=rows,
+        note="the default 0.99 band is the loosest setting that keeps "
+        "CLCV at zero given fit error plus runtime noise",
+        extras={"values": values},
+    )
+
+
+def abl_fusion(
+    harness: Optional[Harness] = None,
+    repetitions: Optional[int] = None,
+    workload: str = "tdic32",
+) -> ExperimentResult:
+    """Fusion-rule ablation: the §IV-B rule vs no fusion vs full fusion."""
+    harness = harness or default_harness()
+    spec = WorkloadSpec.of(workload, "rovio")
+    context = harness.context(spec)
+    profile = harness.profile(spec)
+
+    unfused = TaskGraph(
+        codec_name=profile.codec_name,
+        tasks=tuple(
+            Task(name=f"t{index}", step_ids=(step,), stage_index=index)
+            for index, step in enumerate(profile.step_ids)
+        ),
+    )
+    variants = (
+        ("no fusion", unfused),
+        ("fusion rule", context.fine_graph),
+        ("fully fused", context.coarse_graph),
+    )
+    rows = []
+    values = {}
+    for label, graph in variants:
+        model = context.cost_model(graph)
+        result = Scheduler(model).schedule(best_effort=True)
+        outcome = MechanismOutcome(
+            mechanism=label,
+            graph=graph,
+            plan=result.plan,
+            dynamics=MechanismDynamics(context_switches_per_kb=0.01),
+        )
+        measured = harness.run_outcome(spec, outcome, repetitions=repetitions)
+        values[label] = {
+            "E": measured.mean_energy_uj_per_byte,
+            "L": measured.mean_latency_us_per_byte,
+            "CLCV": measured.clcv,
+            "stages": graph.stage_count,
+        }
+        rows.append(
+            (
+                label,
+                graph.stage_count,
+                f"{measured.mean_energy_uj_per_byte:.3f}",
+                f"{measured.mean_latency_us_per_byte:.2f}",
+                f"{measured.clcv:.2f}",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_fusion",
+        title=f"fusion-rule ablation, {spec.label}",
+        headers=("variant", "stages", "E (µJ/B)", "L (µs/B)", "CLCV"),
+        rows=rows,
+        note="fully fusing hides the task-core affinities and costs the "
+        "most; in this calibration never fusing is marginally cheaper "
+        "than the paper's rule (fusing the read step dilutes the encode "
+        "step's kappa), at the price of one more task, queue and "
+        "per-message overhead per batch — the rule is kept as the "
+        "default for fidelity to the paper",
+        extras={"values": values},
+    )
+
+
+def abl_regulator(
+    harness: Optional[Harness] = None,
+    latency_constraint: float = 20.0,
+    batches: int = 12,
+    change_at: int = 4,
+) -> ExperimentResult:
+    """PID (Eq 8) vs statistics-aware regulation after a range jump."""
+    harness = harness or default_harness()
+    batch_size = WorkloadSpec.of("tcomp32", "micro").batch_size
+    spec = WorkloadSpec.of(
+        "tcomp32",
+        "micro",
+        dataset_options={"dynamic_range": 500},
+        latency_constraint=latency_constraint,
+    )
+    context = harness.context(spec)
+    low_profile = harness.profile(spec)
+    high_profile = profile_workload(
+        get_codec("tcomp32"),
+        MicroDataset(dynamic_range=50_000),
+        batch_size,
+        batches=batches - change_at,
+        seed=harness.seed + 1,
+    )
+    stream = (
+        list(low_profile.per_batch_step_costs)[:change_at]
+        + list(high_profile.per_batch_step_costs)
+    )[:batches]
+
+    executor = PipelineExecutor(
+        harness.board,
+        ExecutionConfig(
+            latency_constraint_us_per_byte=latency_constraint,
+            repetitions=1,
+            batches_per_repetition=3,
+            warmup_batches=2,
+            seed=harness.seed,
+        ),
+    )
+
+    def run(kind: str):
+        model = context.cost_model(context.fine_graph)
+        if kind == "pid":
+            regulator = FeedbackRegulator(model)
+        else:
+            regulator = StatisticsAwareRegulator(model)
+        rng = np.random.default_rng(harness.seed)
+        trace = []
+        for index, costs in enumerate(stream):
+            metrics = executor.run_single(
+                regulator.plan, [costs] * 3, batch_size, rng
+            )
+            measurement = metrics[-1]
+            if kind == "pid":
+                regulator.observe(index, measurement.latency_us_per_byte)
+            else:
+                regulator.observe(index, costs)
+            trace.append(measurement)
+        violations = [m.batch_index for m in trace if m.violated]
+        recovery = None
+        for m in trace[change_at:]:
+            if not m.violated:
+                recovery = m.batch_index
+                break
+        return trace, violations, recovery
+
+    rows = []
+    extras = {}
+    for kind, label in (("pid", "PID (Eq 8)"), ("stats", "statistics-aware")):
+        trace, violations, recovery = run(kind)
+        transient_energy = sum(
+            m.energy_uj_per_byte for m in trace[change_at:]
+        )
+        extras[kind] = {
+            "violations": violations,
+            "recovery_batch": recovery,
+            "transient_energy": transient_energy,
+        }
+        rows.append(
+            (
+                label,
+                len(violations),
+                recovery if recovery is not None else "never",
+                f"{transient_energy:.3f}",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_regulator",
+        title=(
+            "regulator ablation: response to a dynamic-range jump at "
+            f"batch {change_at} (tcomp32-Micro)"
+        ),
+        headers=(
+            "controller", "violated batches", "recovered at",
+            "post-jump energy (µJ/B summed)",
+        ),
+        rows=rows,
+        note="the statistics-aware controller replans off the first "
+        "drifted batch's counters; the PID needs Eq 8's three "
+        "observations (the trade-off §V-D predicts)",
+        extras=extras,
+    )
+
+
+def abl_boards(
+    harness: Optional[Harness] = None,
+    repetitions: Optional[int] = None,
+) -> ExperimentResult:
+    """The same workloads planned on rk3399 vs a Jetson-TX2-class SoC."""
+    repetitions = repetitions or 30
+    rows = []
+    values = {}
+    for board in (rk3399(), jetson_tx2_like()):
+        board_harness = Harness(board=board, repetitions=repetitions)
+        for codec in ("tcomp32", "tdic32"):
+            spec = WorkloadSpec.of(codec, "rovio")
+            context = board_harness.context(spec)
+            outcome = CStreamMechanism().prepare(context)
+            result = board_harness.run_outcome(
+                spec, outcome, repetitions=repetitions
+            )
+            key = (board.name, codec)
+            values[key] = {
+                "E": result.mean_energy_uj_per_byte,
+                "L": result.mean_latency_us_per_byte,
+                "CLCV": result.clcv,
+            }
+            rows.append(
+                (
+                    board.name.split(" (")[0],
+                    codec,
+                    outcome.description,
+                    f"{result.mean_energy_uj_per_byte:.3f}",
+                    f"{result.mean_latency_us_per_byte:.2f}",
+                    f"{result.clcv:.2f}",
+                )
+            )
+    return ExperimentResult(
+        experiment_id="abl_boards",
+        title="CStream across boards (future-work hardware)",
+        headers=("board", "codec", "plan", "E (µJ/B)", "L (µs/B)", "CLCV"),
+        rows=rows,
+        note="both out-of-order clusters on the Jetson-class SoC flatten "
+        "the asymmetry, so plans lean less on the big cores",
+        extras={"values": values},
+    )
+
+
+def abl_thermal(
+    harness: Optional[Harness] = None,
+    latency_constraint: float = 26.0,
+    batches: int = 12,
+    throttle_at: int = 4,
+    capped_mhz: float = 600.0,
+) -> ExperimentResult:
+    """Failure injection: a thermal cap hits the big cluster mid-stream.
+
+    An IoT device in the sun throttles; the plan that used the big core
+    for the encode stage starts violating the constraint. A static plan
+    stays broken; the PID-regulated CStream detects the drift (it cannot
+    know *why* the stage slowed) and replans onto the healthy cores.
+    """
+    harness = harness or default_harness()
+    board = harness.board
+    spec = WorkloadSpec.of(
+        "tcomp32", "rovio", latency_constraint=latency_constraint
+    )
+    context = harness.context(spec)
+    profile = harness.profile(spec)
+    stream = (list(profile.per_batch_step_costs) * batches)[:batches]
+    batch_bytes = profile.batch_size_bytes
+
+    capped_map = {
+        core_id: capped_mhz for core_id in board.big_core_ids
+    }
+    from repro.simcore.dvfs import StaticGovernor
+
+    executor = PipelineExecutor(
+        board,
+        ExecutionConfig(
+            latency_constraint_us_per_byte=latency_constraint,
+            repetitions=1,
+            batches_per_repetition=3,
+            warmup_batches=2,
+            seed=harness.seed,
+        ),
+    )
+
+    def run(regulated: bool):
+        model = context.cost_model(context.fine_graph)
+        regulator = FeedbackRegulator(model)
+        rng = np.random.default_rng(harness.seed)
+        trace = []
+        for index, costs in enumerate(stream):
+            throttled = index >= throttle_at
+            governor = StaticGovernor(
+                board, capped_map if throttled else None
+            )
+            metrics = executor.run_single(
+                regulator.plan, [costs] * 3, batch_bytes, rng,
+                governor=governor,
+            )
+            measurement = metrics[-1]
+            if regulated:
+                regulator.observe(index, measurement.latency_us_per_byte)
+            trace.append((index, measurement.violated))
+        return trace
+
+    rows = []
+    extras = {}
+    for label, regulated in (("static plan", False), ("PID-regulated", True)):
+        trace = run(regulated)
+        violations = [index for index, violated in trace if violated]
+        recovery = next(
+            (
+                index
+                for index, violated in trace[throttle_at:]
+                if not violated
+            ),
+            None,
+        )
+        extras[label] = {"violations": violations, "recovery": recovery}
+        rows.append(
+            (
+                label,
+                len(violations),
+                recovery if recovery is not None else "never",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="abl_thermal",
+        title=(
+            f"thermal-throttling injection: big cores capped to "
+            f"{capped_mhz:.0f} MHz after batch {throttle_at} (tcomp32-Rovio)"
+        ),
+        headers=("variant", "violated batches", "recovered at"),
+        rows=rows,
+        note="the regulator attributes the slowdown to the model's "
+        "latency scale and replans away from the throttled cluster — "
+        "failure recovery without a thermal sensor",
+        extras=extras,
+    )

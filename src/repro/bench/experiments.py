@@ -1,0 +1,42 @@
+"""Common experiment-result structure and registry plumbing.
+
+Every experiment function takes an optional :class:`Harness` plus
+experiment-specific knobs and returns an :class:`ExperimentResult` whose
+rows mirror the corresponding table/figure of the paper. The module
+:mod:`repro.bench` assembles the id → function registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one table or figure of the paper."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+    note: str = ""
+    #: free-form extras (fitted params, plan strings, ...) for tests
+    extras: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        return format_table(
+            f"{self.experiment_id}: {self.title}",
+            self.headers,
+            self.rows,
+            note=self.note,
+        )
+
+    def column(self, header: str) -> List:
+        """Extract one column by header name (test helper)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro`` or the ``cstream`` script.
+
+Subcommands
+-----------
+
+``compress`` / ``decompress``
+    Real file (de)compression with any of the paper's codecs, using the
+    framed multi-batch stream format.
+``plan``
+    Profile a workload, decompose it and print the asymmetry-aware plan
+    with a per-core occupancy chart.
+``simulate``
+    Measure a (workload, mechanism) pair on a simulated board and print
+    energy / latency / CLCV.
+``boards``
+    List the available simulated boards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import Harness, WorkloadSpec
+from repro.compression import CODEC_NAMES, get_codec
+from repro.compression.stream import CompressionSession, DecompressionSession
+from repro.core.baselines import MECHANISM_NAMES, get_mechanism
+from repro.core.scheduler import Scheduler
+from repro.datasets import DATASET_NAMES
+from repro.errors import ReproError
+from repro.runtime.visualize import render_gantt, render_plan
+from repro.simcore.boards import jetson_tx2_like, rk3399
+
+__all__ = ["main"]
+
+_BOARDS = {"rk3399": rk3399, "jetson": jetson_tx2_like}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cstream",
+        description="CStream: stream compression on asymmetric multicores",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compress = commands.add_parser("compress", help="compress a file")
+    compress.add_argument("codec", choices=CODEC_NAMES)
+    compress.add_argument("input")
+    compress.add_argument("output")
+    compress.add_argument("--batch-bytes", type=int, default=65536)
+
+    decompress = commands.add_parser("decompress", help="decompress a file")
+    decompress.add_argument("codec", choices=CODEC_NAMES)
+    decompress.add_argument("input")
+    decompress.add_argument("output")
+
+    plan = commands.add_parser(
+        "plan", help="show the asymmetry-aware plan for a workload"
+    )
+    plan.add_argument("codec", choices=CODEC_NAMES)
+    plan.add_argument("dataset", choices=DATASET_NAMES)
+    plan.add_argument("--board", choices=sorted(_BOARDS), default="rk3399")
+    plan.add_argument("--latency-constraint", type=float, default=26.0,
+                      help="L_set in µs/byte (default 26, the paper's)")
+    plan.add_argument("--batch-bytes", type=int, default=65536)
+
+    simulate = commands.add_parser(
+        "simulate", help="measure a mechanism on the simulated board"
+    )
+    simulate.add_argument("codec", choices=CODEC_NAMES)
+    simulate.add_argument("dataset", choices=DATASET_NAMES)
+    simulate.add_argument("--mechanism", choices=MECHANISM_NAMES,
+                          default="CStream")
+    simulate.add_argument("--board", choices=sorted(_BOARDS), default="rk3399")
+    simulate.add_argument("--latency-constraint", type=float, default=26.0)
+    simulate.add_argument("--repetitions", type=int, default=50)
+    simulate.add_argument("--gantt", action="store_true",
+                          help="print a Gantt chart of the last run")
+
+    commands.add_parser("boards", help="list simulated boards")
+    return parser
+
+
+def _command_compress(args) -> int:
+    codec = get_codec(args.codec)
+    session = CompressionSession(codec)
+    word = 4  # all codecs consume whole 32-bit words
+    batch_bytes = args.batch_bytes - args.batch_bytes % word
+    started = time.time()
+    with open(args.input, "rb") as source, open(args.output, "wb") as sink:
+        tail = b""
+        while True:
+            chunk = source.read(batch_bytes)
+            if not chunk:
+                break
+            usable = len(chunk) - len(chunk) % word
+            tail = chunk[usable:]
+            if usable:
+                sink.write(session.write_batch(chunk[:usable]))
+        if tail:
+            # Pad the trailing partial word with zeros; record its size.
+            padded = tail + b"\x00" * (word - len(tail))
+            sink.write(session.write_batch(padded))
+    elapsed = time.time() - started
+    print(
+        f"{session.frames_written} frames, ratio "
+        f"{session.compression_ratio:.2f}, {elapsed:.2f}s"
+    )
+    return 0
+
+
+def _command_decompress(args) -> int:
+    codec = get_codec(args.codec)
+    session = DecompressionSession(codec)
+    with open(args.input, "rb") as source, open(args.output, "wb") as sink:
+        while True:
+            chunk = source.read(1 << 20)
+            if not chunk:
+                break
+            for batch in session.feed(chunk):
+                sink.write(batch)
+        session.finish()
+    print(f"{session.frames_read} frames decoded")
+    return 0
+
+
+def _command_plan(args) -> int:
+    board = _BOARDS[args.board]()
+    harness = Harness(board=board)
+    spec = WorkloadSpec.of(
+        args.codec,
+        args.dataset,
+        batch_size=args.batch_bytes,
+        latency_constraint=args.latency_constraint,
+    )
+    context = harness.context(spec)
+    profile = harness.profile(spec)
+    print(f"board:          {board.name}")
+    print(f"workload:       {spec.label} "
+          f"(ratio {profile.compression_ratio:.2f})")
+    print(f"decomposition:  {context.fine_graph.describe()}")
+    model = context.cost_model(context.fine_graph)
+    result = Scheduler(model).schedule(best_effort=True)
+    print(f"plan:           {result.plan.describe()}")
+    if not result.feasible:
+        print("warning: no plan meets the constraint; showing best effort")
+    print()
+    print(render_plan(result.estimate, board))
+    return 0
+
+
+def _command_simulate(args) -> int:
+    from repro.runtime.executor import ExecutionConfig, PipelineExecutor
+
+    board = _BOARDS[args.board]()
+    harness = Harness(board=board, repetitions=args.repetitions)
+    spec = WorkloadSpec.of(
+        args.codec, args.dataset, latency_constraint=args.latency_constraint
+    )
+    result = harness.run(spec, args.mechanism)
+    print(f"{args.mechanism} on {spec.label} ({board.name}):")
+    print(f"  energy:  {result.mean_energy_uj_per_byte:.3f} µJ/byte")
+    print(f"  latency: {result.mean_latency_us_per_byte:.2f} µs/byte "
+          f"(L_set {args.latency_constraint})")
+    print(f"  CLCV:    {result.clcv:.2f} over {args.repetitions} runs")
+    if args.gantt:
+        context = harness.context(spec)
+        outcome = get_mechanism(args.mechanism).prepare(context)
+        profile = harness.profile(spec)
+        executor = PipelineExecutor(
+            board,
+            ExecutionConfig(
+                latency_constraint_us_per_byte=args.latency_constraint,
+                repetitions=1,
+                batches_per_repetition=5,
+            ),
+        )
+        per_batch = (list(profile.per_batch_step_costs) * 5)[:5]
+        executor.run(
+            outcome.plan,
+            per_batch,
+            profile.batch_size_bytes,
+            dynamics=outcome.dynamics,
+        )
+        print()
+        print(render_gantt(executor.last_trace, board))
+    return 0
+
+
+def _command_boards(args) -> int:
+    for name, factory in sorted(_BOARDS.items()):
+        board = factory()
+        little = len(board.little_core_ids)
+        big = len(board.big_core_ids)
+        print(f"{name:10s} {board.name} — {little} little + {big} big cores")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "compress": _command_compress,
+        "decompress": _command_decompress,
+        "plan": _command_plan,
+        "simulate": _command_simulate,
+        "boards": _command_boards,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

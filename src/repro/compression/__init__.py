@@ -1,0 +1,79 @@
+"""Stream-compression algorithms and their cost instrumentation.
+
+The public surface:
+
+* :func:`get_codec` / :data:`CODEC_NAMES` — registry of the paper's three
+  algorithms (``tcomp32``, ``tdic32``, ``lz4``);
+* :class:`~repro.compression.base.StreamCompressor` — the interface;
+* :class:`~repro.compression.stats.BatchStatistics` /
+  :func:`~repro.compression.stats.analyze_batch` — workload statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.compression.base import (
+    CompressionResult,
+    StatefulCompressor,
+    StatelessCompressor,
+    StepCost,
+    StepRole,
+    StepSpec,
+    StreamCompressor,
+)
+from repro.compression.bitio import BitReader, BitWriter, bits_required
+from repro.compression.lz4 import Lz4
+from repro.compression.partitioned import PartitionedCodec
+from repro.compression.stats import BatchStatistics, analyze_batch, shannon_entropy
+from repro.compression.stream import CompressionSession, DecompressionSession
+from repro.compression.tcomp32 import Tcomp32
+from repro.compression.tdic32 import Tdic32
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BatchStatistics",
+    "BitReader",
+    "BitWriter",
+    "CODEC_NAMES",
+    "CompressionResult",
+    "CompressionSession",
+    "DecompressionSession",
+    "Lz4",
+    "PartitionedCodec",
+    "StatefulCompressor",
+    "StatelessCompressor",
+    "StepCost",
+    "StepRole",
+    "StepSpec",
+    "StreamCompressor",
+    "Tcomp32",
+    "Tdic32",
+    "analyze_batch",
+    "bits_required",
+    "get_codec",
+    "shannon_entropy",
+]
+
+_REGISTRY: Dict[str, Type[StreamCompressor]] = {
+    Tcomp32.name: Tcomp32,
+    Tdic32.name: Tdic32,
+    Lz4.name: Lz4,
+}
+
+#: Names of all registered codecs, in the paper's order.
+CODEC_NAMES = ("tcomp32", "lz4", "tdic32")
+
+
+def get_codec(name: str, **options) -> StreamCompressor:
+    """Instantiate a codec by registry name.
+
+    ``options`` are forwarded to the codec constructor (e.g.
+    ``get_codec("tdic32", index_bits=14)``).
+    """
+    try:
+        codec_class = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown codec {name!r}; known codecs: {known}")
+    return codec_class(**options)

@@ -1,0 +1,164 @@
+"""Feedback-based regulation for dynamic workloads (paper §V-D, Eq 8).
+
+Stream characteristics drift; the profiled cost model goes stale; the
+plan starts violating the latency constraint. CStream periodically
+compares measured against predicted compressing latency and, when the
+relative error exceeds a threshold, enters a calibration phase: an
+*incremental* PID controller (Eq 8 — not position PID, which suffers
+integral saturation) nudges the model's calibratable parameters
+(the computation-latency scale, and an energy-side κ scale) until the
+relative error is small, after which the scheduler replans from the
+refreshed model.
+
+The controller needs at least three observations (k, k-1, k-2 appear in
+Eq 8), which is why re-adaptation spans a few batches in Fig 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.cost_model import CostModel
+from repro.core.plan import PlanEstimate
+from repro.core.scheduler import Scheduler
+from repro.errors import ConfigurationError
+
+__all__ = ["IncrementalPID", "FeedbackRegulator", "RegulationEvent"]
+
+
+class IncrementalPID:
+    """The incremental-form PID of Eq 8.
+
+    ``delta = P·(e_k - e_{k-1}) + I·e_k + D·(e_k - 2·e_{k-1} + e_{k-2})``
+    """
+
+    def __init__(self, p: float = 0.1, i: float = 0.85, d: float = 0.05) -> None:
+        self.p = p
+        self.i = i
+        self.d = d
+        self._e1: Optional[float] = None  # e_{k-1}
+        self._e2: Optional[float] = None  # e_{k-2}
+        self._count = 0
+
+    def step(self, error: float) -> float:
+        """Feed e_k, get the increment δ_k."""
+        e1 = self._e1 if self._e1 is not None else 0.0
+        e2 = self._e2 if self._e2 is not None else 0.0
+        delta = (
+            self.p * (error - e1)
+            + self.i * error
+            + self.d * (error - 2.0 * e1 + e2)
+        )
+        self._e2 = self._e1 if self._e1 is not None else 0.0
+        self._e1 = error
+        self._count += 1
+        return delta
+
+    def reset(self) -> None:
+        self._e1 = None
+        self._e2 = None
+        self._count = 0
+
+    @property
+    def observations(self) -> int:
+        """How many errors the controller has seen since reset."""
+        return self._count
+
+
+@dataclass(frozen=True)
+class RegulationEvent:
+    """What the regulator did after one observation."""
+
+    batch_index: int
+    measured_latency: float
+    estimated_latency: float
+    relative_error: float
+    calibrating: bool
+    replanned: bool
+    latency_scale: float
+
+
+@dataclass
+class FeedbackRegulator:
+    """Monitors one running plan and recalibrates + replans on drift.
+
+    Parameters mirror §V-D: ``error_threshold`` triggers calibration
+    (and ends it once the error is small again); the PID gains default
+    to the paper's PSO-tuned ``[0.1, 0.85, 0.05]``.
+    """
+
+    model: CostModel
+    error_threshold: float = 0.1
+    pid_gains: tuple = (0.1, 0.85, 0.05)
+    estimate: PlanEstimate = None
+    events: List[RegulationEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.error_threshold < 1:
+            raise ConfigurationError("error threshold must be in (0, 1)")
+        p, i, d = self.pid_gains
+        self._pid = IncrementalPID(p, i, d)
+        self._calibrating = False
+        if self.estimate is None:
+            self.estimate = Scheduler(self.model).schedule(
+                best_effort=True
+            ).estimate
+
+    @property
+    def plan(self):
+        return self.estimate.plan
+
+    def _current_scale(self) -> float:
+        scales = self.model.latency_scale
+        if not scales:
+            return 1.0
+        return sum(scales.values()) / len(scales)
+
+    def observe(self, batch_index: int, measured_latency: float) -> RegulationEvent:
+        """Compare one measurement against the model; calibrate/replan.
+
+        Returns the regulation event; ``self.plan`` reflects any replan.
+        """
+        estimated = self.estimate.latency_us_per_byte
+        error = measured_latency - estimated
+        relative_error = abs(error) / estimated if estimated > 0 else 0.0
+
+        replanned = False
+        if not self._calibrating:
+            if relative_error > self.error_threshold:
+                self._calibrating = True
+                self._pid.reset()
+        if self._calibrating:
+            # Tune the l_comp scale so the model tracks the measurement.
+            delta = self._pid.step(error) / max(estimated, 1e-9)
+            new_scale = max(self._current_scale() + delta, 1e-3)
+            for stage in range(self.model.graph.stage_count):
+                self.model.latency_scale[stage] = new_scale
+            # Refresh the estimate of the *current* plan under the new
+            # model; once the model agrees with reality, replan.
+            self.estimate = self.model.evaluate(self.plan)
+            refreshed_error = abs(
+                measured_latency - self.estimate.latency_us_per_byte
+            ) / max(self.estimate.latency_us_per_byte, 1e-9)
+            if (
+                refreshed_error <= self.error_threshold
+                and self._pid.observations >= 3
+            ):
+                self._calibrating = False
+                self.estimate = Scheduler(self.model).schedule(
+                    best_effort=True
+                ).estimate
+                replanned = True
+
+        event = RegulationEvent(
+            batch_index=batch_index,
+            measured_latency=measured_latency,
+            estimated_latency=estimated,
+            relative_error=relative_error,
+            calibrating=self._calibrating,
+            replanned=replanned,
+            latency_scale=self._current_scale(),
+        )
+        self.events.append(event)
+        return event

@@ -1,0 +1,293 @@
+"""The CStream cost model (paper §V-B, Eqs 4-7).
+
+Given a task graph, a workload profile and the calibrated hardware
+curves, the model predicts for every task replica of a scheduling plan:
+
+* computation latency ``l_comp = instructions / η(κ, core)`` (Eq 6 —
+  linear in input size, since instructions scale with the batch);
+* communication latency ``l_comm`` from the upstream stage's forwarded
+  bytes and the measured per-path unit costs and overheads (Eq 7);
+* energy ``e = η·l/ζ = instructions / ζ(κ, core)`` (Eq 4).
+
+Everything is normalized to per-byte-of-batch units (µs/byte, µJ/byte),
+matching the paper's reporting. The plan-level outputs are
+``L_est = max(l_i)`` (Eq 2, pipeline bottleneck — including per-core
+serialization when several replicas share a core, which is Eq 3's
+capacity constraint expressed in time) and ``E_est = Σ e_i`` (Eq 1).
+
+The model can be degraded for the paper's §VII-D ablations:
+``communication_aware=False`` drops l_comm from every estimate (the
+``+asy-comp.`` factor, which models asymmetric computation but ignores
+communication effects entirely — our reading of "L_comm treated the same
+for any pair"; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.plan import PlanEstimate, SchedulingPlan, TaskEstimate
+from repro.core.profiler import (
+    CommunicationTable,
+    WorkloadProfile,
+    measure_communication,
+    profile_roofline,
+)
+from repro.core.roofline import FittedPiecewise, fit_piecewise
+from repro.core.task import TaskGraph
+from repro.errors import ConfigurationError
+from repro.simcore.boards import BoardSpec
+from repro.simcore.hardware import CoreType, replication_factor
+
+__all__ = ["CostModel", "CalibratedCurves", "calibrate_curves"]
+
+#: default safety factor applied to L_set when checking Eq 2
+DEFAULT_GUARD_BAND = 0.99
+
+
+@dataclass(frozen=True)
+class CalibratedCurves:
+    """Fitted η/ζ curves per core type (the model's view of Fig 3)."""
+
+    eta: Dict[CoreType, FittedPiecewise]
+    zeta: Dict[CoreType, FittedPiecewise]
+
+
+def calibrate_curves(
+    board: BoardSpec, noise: float = 0.01, seed: int = 0
+) -> CalibratedCurves:
+    """Profile one core of each type and fit Eq 5's piecewise curves."""
+    eta: Dict[CoreType, FittedPiecewise] = {}
+    zeta: Dict[CoreType, FittedPiecewise] = {}
+    for core_type in CoreType:
+        cores = board.cores_of_type(core_type)
+        if not cores:
+            continue
+        samples = profile_roofline(cores[0], noise=noise, seed=seed)
+        eta[core_type] = fit_piecewise(samples.kappas, samples.eta_values)
+        zeta[core_type] = fit_piecewise(samples.kappas, samples.zeta_values)
+    return CalibratedCurves(eta=eta, zeta=zeta)
+
+
+@dataclass
+class CostModel:
+    """Plan cost estimator for one workload on one board."""
+
+    board: BoardSpec
+    graph: TaskGraph
+    profile: WorkloadProfile
+    curves: CalibratedCurves
+    communication: CommunicationTable
+    latency_constraint_us_per_byte: float
+    guard_band: float = DEFAULT_GUARD_BAND
+    communication_aware: bool = True
+    frequency_map: Optional[Mapping[int, float]] = None
+    #: per-stage calibration multipliers on l_comp and κ, adjusted by the
+    #: adaptive PID controller (§V-D); 1.0 = trust the profile
+    latency_scale: Dict[int, float] = field(default_factory=dict)
+    kappa_scale: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.latency_constraint_us_per_byte <= 0:
+            raise ConfigurationError("latency constraint must be positive")
+        if not 0 < self.guard_band <= 1:
+            raise ConfigurationError("guard band must be in (0, 1]")
+        self._stage_costs = tuple(
+            task.merged_cost(self.profile.mean_step_costs)
+            for task in self.graph.tasks
+        )
+        self._batch_bytes = self.profile.batch_size_bytes
+
+    # -- convenience -------------------------------------------------------
+
+    @classmethod
+    def calibrated(
+        cls,
+        board: BoardSpec,
+        graph: TaskGraph,
+        profile: WorkloadProfile,
+        latency_constraint_us_per_byte: float,
+        seed: int = 0,
+        **options,
+    ) -> "CostModel":
+        """Build a model by dry-run profiling the board (Fig 4 workflow)."""
+        return cls(
+            board=board,
+            graph=graph,
+            profile=profile,
+            curves=calibrate_curves(board, seed=seed),
+            communication=measure_communication(board, seed=seed),
+            latency_constraint_us_per_byte=latency_constraint_us_per_byte,
+            **options,
+        )
+
+    def stage_kappa(self, stage_index: int) -> float:
+        base = self._stage_costs[stage_index].operational_intensity
+        return base * self.kappa_scale.get(stage_index, 1.0)
+
+    def stage_instructions(self, stage_index: int) -> float:
+        return self._stage_costs[stage_index].instructions
+
+    def stage_output_bytes(self, stage_index: int) -> float:
+        return float(self._stage_costs[stage_index].output_bytes)
+
+    def _core_frequency(self, core_id: int) -> Optional[float]:
+        if self.frequency_map is None:
+            return None
+        return self.frequency_map.get(core_id)
+
+    def _eta(self, kappa: float, core_id: int) -> float:
+        core = self.board.core_by_id[core_id]
+        fitted = self.curves.eta[core.core_type]
+        base = fitted.value(kappa)
+        frequency = self._core_frequency(core_id)
+        if frequency is None:
+            return base
+        # The fitted curve was profiled at max frequency; reuse the
+        # hardware's scaling law for other levels.
+        return base * core.eta_at(kappa, frequency) / core.eta_at(kappa, None)
+
+    def _zeta(self, kappa: float, core_id: int) -> float:
+        core = self.board.core_by_id[core_id]
+        fitted = self.curves.zeta[core.core_type]
+        base = fitted.value(kappa)
+        frequency = self._core_frequency(core_id)
+        if frequency is None:
+            return base
+        return base * core.zeta_at(kappa, frequency) / core.zeta_at(kappa, None)
+
+    # -- per-task estimates (Eqs 4, 6, 7) -----------------------------------
+
+    def compute_latency(
+        self, stage_index: int, core_id: int, replicas: int = 1
+    ) -> float:
+        """l_comp of one replica, µs per byte of batch (Eq 6)."""
+        kappa = self.stage_kappa(stage_index)
+        instructions = self.stage_instructions(stage_index) / replicas
+        overhead = replication_factor(
+            self.board.replication_latency_overhead, replicas
+        )
+        scale = self.latency_scale.get(stage_index, 1.0)
+        return (
+            scale * instructions * overhead
+            / self._eta(kappa, core_id)
+            / self._batch_bytes
+        )
+
+    def task_energy(
+        self, stage_index: int, core_id: int, replicas: int = 1
+    ) -> float:
+        """e of one replica, µJ per byte of batch (Eq 4)."""
+        kappa = self.stage_kappa(stage_index)
+        instructions = self.stage_instructions(stage_index) / replicas
+        overhead = replication_factor(
+            self.board.replication_energy_overhead, replicas
+        )
+        return (
+            instructions * overhead
+            / self._zeta(kappa, core_id)
+            / self._batch_bytes
+        )
+
+    def communication_latency(
+        self,
+        stage_index: int,
+        core_id: int,
+        upstream_cores: Tuple[int, ...],
+        replicas: int,
+    ) -> float:
+        """l_comm of one replica, µs per byte of batch (Eq 7).
+
+        The replica fetches its 1/replicas share of the upstream stage's
+        forwarded bytes, drawn evenly from every upstream replica; each
+        producer contributes one message (its ω) over its path.
+        """
+        if stage_index == 0 or not self.communication_aware:
+            return 0.0
+        upstream_bytes = self.stage_output_bytes(stage_index - 1)
+        share = upstream_bytes / replicas / len(upstream_cores)
+        total_us = 0.0
+        for producer_core in upstream_cores:
+            path = self.board.path_between(producer_core, core_id)
+            total_us += share * self.communication.unit_cost(path)
+            total_us += self.communication.overhead(path)
+        return total_us / self._batch_bytes
+
+    def communication_energy(
+        self,
+        stage_index: int,
+        core_id: int,
+        upstream_cores: Tuple[int, ...],
+    ) -> float:
+        """Per-message transfer energy of one replica, µJ per byte.
+
+        The paper's Eq 4 prices computation only; shipping a message
+        still draws interconnect/DRAM energy, which the dry-run
+        measurement exposes — pricing it keeps the scheduler honest
+        about uneconomical replication at small batch sizes (Fig 11).
+        """
+        if stage_index == 0 or not self.communication_aware:
+            return 0.0
+        total_uj = 0.0
+        for producer_core in upstream_cores:
+            path = self.board.path_between(producer_core, core_id)
+            total_uj += self.communication.energy(path)
+        return total_uj / self._batch_bytes
+
+    # -- plan evaluation (Eqs 1-3) -------------------------------------------
+
+    def evaluate(self, plan: SchedulingPlan) -> PlanEstimate:
+        """Predict L_est, E_est and feasibility of a plan."""
+        if plan.graph is not self.graph and plan.graph != self.graph:
+            raise ConfigurationError("plan was built for a different task graph")
+        estimates = []
+        core_load: Dict[int, float] = {}
+        for stage_index, cores in enumerate(plan.assignments):
+            replicas = len(cores)
+            upstream_cores = (
+                plan.assignments[stage_index - 1] if stage_index > 0 else ()
+            )
+            for replica_index, core_id in enumerate(cores):
+                l_comp = self.compute_latency(stage_index, core_id, replicas)
+                l_comm = self.communication_latency(
+                    stage_index, core_id, upstream_cores, replicas
+                )
+                energy = self.task_energy(
+                    stage_index, core_id, replicas
+                ) + self.communication_energy(
+                    stage_index, core_id, upstream_cores
+                )
+                estimates.append(
+                    TaskEstimate(
+                        stage_index=stage_index,
+                        replica_index=replica_index,
+                        core_id=core_id,
+                        kappa=self.stage_kappa(stage_index),
+                        l_comp_us_per_byte=l_comp,
+                        l_comm_us_per_byte=l_comm,
+                        energy_uj_per_byte=energy,
+                    )
+                )
+                core_load[core_id] = core_load.get(core_id, 0.0) + l_comp
+
+        bottleneck_task = max(est.l_us_per_byte for est in estimates)
+        bottleneck_core = max(core_load.values())
+        latency = max(bottleneck_task, bottleneck_core)
+        energy = sum(est.energy_uj_per_byte for est in estimates)
+
+        budget = self.guard_band * self.latency_constraint_us_per_byte
+        reason = ""
+        if latency > budget:
+            reason = (
+                f"L_est {latency:.2f} µs/B exceeds budget {budget:.2f} µs/B"
+            )
+        return PlanEstimate(
+            plan=plan,
+            task_estimates=tuple(estimates),
+            latency_us_per_byte=latency,
+            energy_uj_per_byte=energy,
+            feasible=not reason,
+            infeasibility_reason=reason,
+            core_load_us_per_byte=core_load,
+        )

@@ -1,0 +1,100 @@
+"""Fine-grained decomposition with fusion (paper §IV-B).
+
+Every codec step starts as its own candidate task (pipelining
+parallelism exposes per-step operational intensity). Adjacent steps are
+then *fused* when the message-passing cost between them would exceed the
+computation they contain: the paper's rule fuses ``t_i`` with its
+upstream ``t_i'`` when ``l_comm(t_i) > l_comp(t_i)`` **or**
+``l_comm(t_i) > l_comp(t_i')``.
+
+Computation latencies for the rule are evaluated on the most favourable
+core type (the fastest option a scheduler could pick), and communication
+on the cheapest path (intra-cluster c0) — i.e. fusion happens only when
+even the best-case split is not worth it. For tcomp32 this reproduces
+the paper's example: the tiny read step fuses into the encode step while
+the write step stays separate (Fig 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compression.base import StepCost
+from repro.core.profiler import CommunicationTable, WorkloadProfile
+from repro.core.roofline import FittedPiecewise
+from repro.core.task import Task, TaskGraph
+from repro.errors import ConfigurationError
+from repro.simcore.boards import BoardSpec
+from repro.simcore.interconnect import Path
+
+__all__ = ["decompose", "best_case_compute_latency"]
+
+
+def best_case_compute_latency(
+    cost: StepCost,
+    board: BoardSpec,
+    eta_curves,
+    batch_bytes: float,
+) -> float:
+    """µs/byte of the fused-or-not candidate on its best core type."""
+    kappa = cost.operational_intensity
+    best = float("inf")
+    for core_type, curve in eta_curves.items():
+        eta = curve.value(kappa) if isinstance(curve, FittedPiecewise) else (
+            curve.value(kappa)
+        )
+        best = min(best, cost.instructions / eta / batch_bytes)
+    return best
+
+
+def _communication_latency(
+    producer_cost: StepCost,
+    communication: CommunicationTable,
+    batch_bytes: float,
+) -> float:
+    """µs/byte of shipping the producer's output over the cheapest path."""
+    return (
+        producer_cost.output_bytes * communication.unit_cost(Path.C0)
+        + communication.overhead(Path.C0)
+    ) / batch_bytes
+
+
+def decompose(
+    profile: WorkloadProfile,
+    board: BoardSpec,
+    eta_curves,
+    communication: CommunicationTable,
+) -> TaskGraph:
+    """Build the fused task pipeline for a profiled workload.
+
+    ``eta_curves`` maps :class:`~repro.simcore.hardware.CoreType` to a
+    fitted η curve (from :func:`repro.core.cost_model.calibrate_curves`).
+    """
+    if not profile.step_ids:
+        raise ConfigurationError("workload profile has no steps")
+    batch_bytes = float(profile.batch_size_bytes)
+
+    # Groups of fused step ids, built left to right.
+    groups: List[List[str]] = [[profile.step_ids[0]]]
+    for step_id in profile.step_ids[1:]:
+        group_cost = StepCost.merged(
+            [profile.mean_step_costs[s] for s in groups[-1]]
+        )
+        step_cost = profile.mean_step_costs[step_id]
+        l_comm = _communication_latency(group_cost, communication, batch_bytes)
+        l_comp_group = best_case_compute_latency(
+            group_cost, board, eta_curves, batch_bytes
+        )
+        l_comp_step = best_case_compute_latency(
+            step_cost, board, eta_curves, batch_bytes
+        )
+        if l_comm > l_comp_step or l_comm > l_comp_group:
+            groups[-1].append(step_id)
+        else:
+            groups.append([step_id])
+
+    tasks = tuple(
+        Task(name=f"t{index}", step_ids=tuple(group), stage_index=index)
+        for index, group in enumerate(groups)
+    )
+    return TaskGraph(codec_name=profile.codec_name, tasks=tasks)

@@ -1,0 +1,106 @@
+"""Scheduling plans (paper Definition 2) and their estimates.
+
+A :class:`SchedulingPlan` maps every task replica to a concrete core.
+The paper describes a plan as the array ``p = {j_0, ..., j_{n-1}}``;
+here the array is grouped per stage because replicas of one stage are
+interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.core.task import TaskGraph
+from repro.errors import ConfigurationError
+
+__all__ = ["SchedulingPlan", "TaskEstimate", "PlanEstimate"]
+
+
+@dataclass(frozen=True)
+class SchedulingPlan:
+    """Mapping of each stage's replicas to cores.
+
+    ``assignments[s]`` is the tuple of core ids hosting stage ``s``'s
+    replicas; its length is the stage's replication degree.
+    """
+
+    graph: TaskGraph
+    assignments: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.assignments) != self.graph.stage_count:
+            raise ConfigurationError(
+                f"plan has {len(self.assignments)} stage assignments for "
+                f"{self.graph.stage_count} stages"
+            )
+        for stage, cores in enumerate(self.assignments):
+            if not cores:
+                raise ConfigurationError(f"stage {stage} has no replicas")
+
+    def replicas(self, stage_index: int) -> int:
+        return len(self.assignments[stage_index])
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(len(cores) for cores in self.assignments)
+
+    def cores_used(self) -> Tuple[int, ...]:
+        used = sorted({core for cores in self.assignments for core in cores})
+        return tuple(used)
+
+    def flat(self) -> Tuple[int, ...]:
+        """The paper's plan array: one core id per task replica, in
+        stage-major order."""
+        return tuple(core for cores in self.assignments for core in cores)
+
+    def tasks_per_core(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for cores in self.assignments:
+            for core in cores:
+                counts[core] = counts.get(core, 0) + 1
+        return counts
+
+    def describe(self) -> str:
+        """E.g. ``t0[s0+s1]@[4] -> t1[s2]@[0]``."""
+        parts = []
+        for task, cores in zip(self.graph.tasks, self.assignments):
+            parts.append(f"{task}@{list(cores)}")
+        return " -> ".join(parts)
+
+
+@dataclass(frozen=True)
+class TaskEstimate:
+    """Cost-model outputs for one task replica (Eqs 4-7), batch
+    normalized to µs/byte and µJ/byte."""
+
+    stage_index: int
+    replica_index: int
+    core_id: int
+    kappa: float
+    l_comp_us_per_byte: float
+    l_comm_us_per_byte: float
+    energy_uj_per_byte: float
+
+    @property
+    def l_us_per_byte(self) -> float:
+        """l_i = l_comp + l_comm (paper Eq 2)."""
+        return self.l_comp_us_per_byte + self.l_comm_us_per_byte
+
+
+@dataclass(frozen=True)
+class PlanEstimate:
+    """Cost-model evaluation of a whole plan (Eqs 1-3)."""
+
+    plan: SchedulingPlan
+    task_estimates: Tuple[TaskEstimate, ...]
+    latency_us_per_byte: float
+    energy_uj_per_byte: float
+    feasible: bool
+    infeasibility_reason: str = ""
+    core_load_us_per_byte: Mapping[int, float] = field(default_factory=dict)
+
+    def bottleneck(self) -> TaskEstimate:
+        """The task replica with the highest estimated latency — the
+        replication target of topologically-sorted iterative scaling."""
+        return max(self.task_estimates, key=lambda est: est.l_us_per_byte)

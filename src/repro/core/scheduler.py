@@ -1,0 +1,290 @@
+"""Model-guided plan search (paper §V-C) with iterative scaling (§IV-B).
+
+The search enumerates scheduling plans with a dynamic program over
+pipeline stages. Two structural reductions keep it exact *and* small:
+
+* cores inside a cluster are identical, so a stage's placement is a
+  *split* ``(n_little, n_big)`` of its replicas between clusters; the
+  concrete core ids are then assigned deterministically (least-loaded
+  core of the cluster first), which is optimal because intra-cluster
+  paths all cost c0;
+* the objective and constraints factor over stages given the previous
+  stage's placement, so partial plans are memoized on
+  ``(stage, previous placement, per-core load profile)`` and pruned
+  against the best complete plan's energy.
+
+Replication follows the paper's *topologically sorted iterative
+scaling*: start with one replica per stage; while no feasible plan
+exists, replicate the bottleneck stage (highest estimated latency under
+the best latency-minimizing plan) and search again, until feasibility or
+core saturation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cost_model import CostModel
+from repro.core.plan import PlanEstimate, SchedulingPlan
+from repro.core.task import TaskGraph
+from repro.errors import InfeasiblePlanError
+from repro.simcore.hardware import CoreType
+
+__all__ = ["Scheduler", "ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one workload."""
+
+    estimate: PlanEstimate
+    replica_counts: Tuple[int, ...]
+    plans_evaluated: int
+    feasible: bool
+
+    @property
+    def plan(self) -> SchedulingPlan:
+        return self.estimate.plan
+
+
+class Scheduler:
+    """Searches for the energy-optimal feasible plan (Eq 1 s.t. Eqs 2-3)."""
+
+    def __init__(self, model: CostModel, max_replicas_per_stage: int = None) -> None:
+        self.model = model
+        self.board = model.board
+        if max_replicas_per_stage is None:
+            max_replicas_per_stage = len(self.board.cores)
+        self.max_replicas_per_stage = max_replicas_per_stage
+        self._little = list(self.board.little_core_ids)
+        self._big = list(self.board.big_core_ids)
+
+    # -- placement enumeration ---------------------------------------------
+
+    def _stage_placements(self, replicas: int):
+        """All (n_little, n_big) splits of a stage's replicas."""
+        for n_big in range(min(replicas, len(self._big) * 2) + 1):
+            n_little = replicas - n_big
+            if n_little > len(self._little) * 2:
+                continue
+            if n_little < 0:
+                continue
+            yield (n_little, n_big)
+
+    def _assign_cores(
+        self, split: Tuple[int, int], load: Dict[int, float]
+    ) -> Tuple[int, ...]:
+        """Concrete cores for a split: least-loaded cluster cores first."""
+        n_little, n_big = split
+        cores: List[int] = []
+        for count, pool in ((n_little, self._little), (n_big, self._big)):
+            if count == 0:
+                continue
+            ordered = sorted(pool, key=lambda c: (load.get(c, 0.0), c))
+            for index in range(count):
+                cores.append(ordered[index % len(ordered)])
+        return tuple(cores)
+
+    # -- search ---------------------------------------------------------------
+
+    def search(
+        self, replica_counts: Tuple[int, ...]
+    ) -> Tuple[Optional[PlanEstimate], Optional[PlanEstimate], int]:
+        """Enumerate plans for fixed replica counts, with pruning.
+
+        The enumeration is a depth-first walk over per-stage cluster
+        splits. Two admissible bounds keep it far below the full
+        product:
+
+        * **energy bound** — each stage's energy is minimized over its
+          own placements independently of the others (communication adds
+          energy, never removes it), so partial energy plus the sum of
+          the remaining stages' independent minima is a lower bound; a
+          branch that cannot beat the incumbent feasible plan is cut;
+        * the **latency floor** of a partial plan only grows as stages
+          are added, so branches are also cut for the min-latency search
+          once both incumbents are unbeatable.
+
+        Returns ``(best_feasible, min_latency, plans_evaluated)`` — the
+        energy optimum among feasible plans (or None) and the
+        latency-minimizing plan (used to locate the bottleneck stage for
+        iterative scaling).
+        """
+        graph = self.model.graph
+        stage_splits = [
+            list(self._stage_placements(r)) for r in replica_counts
+        ]
+        # Independent per-stage energy minima for the lower bound.
+        stage_energy_floor: List[float] = []
+        for stage_index, splits in enumerate(stage_splits):
+            minima = []
+            for split in splits:
+                cores = self._assign_cores(split, {})
+                minima.append(
+                    sum(
+                        self.model.task_energy(stage_index, core, len(cores))
+                        for core in cores
+                    )
+                )
+            stage_energy_floor.append(min(minima) if minima else 0.0)
+        remaining_floor = [0.0] * (graph.stage_count + 1)
+        for stage_index in range(graph.stage_count - 1, -1, -1):
+            remaining_floor[stage_index] = (
+                remaining_floor[stage_index + 1]
+                + stage_energy_floor[stage_index]
+            )
+
+        state = {
+            "best": None,       # best feasible estimate
+            "fastest": None,    # min-latency estimate
+            "evaluated": 0,
+        }
+
+        def consider(assignments: List[Tuple[int, ...]]) -> None:
+            plan = SchedulingPlan(graph=graph, assignments=tuple(assignments))
+            estimate = self.model.evaluate(plan)
+            state["evaluated"] += 1
+            fastest = state["fastest"]
+            if fastest is None or (
+                estimate.latency_us_per_byte < fastest.latency_us_per_byte
+            ):
+                state["fastest"] = estimate
+            best = state["best"]
+            if estimate.feasible and (
+                best is None
+                or estimate.energy_uj_per_byte < best.energy_uj_per_byte
+                or (
+                    estimate.energy_uj_per_byte == best.energy_uj_per_byte
+                    and estimate.latency_us_per_byte
+                    < best.latency_us_per_byte
+                )
+            ):
+                state["best"] = estimate
+
+        def walk(
+            stage_index: int,
+            assignments: List[Tuple[int, ...]],
+            load: Dict[int, float],
+            partial_energy: float,
+        ) -> None:
+            if stage_index == graph.stage_count:
+                consider(assignments)
+                return
+            for split in stage_splits[stage_index]:
+                cores = self._assign_cores(split, load)
+                replicas = len(cores)
+                stage_energy = sum(
+                    self.model.task_energy(stage_index, core, replicas)
+                    for core in cores
+                )
+                candidate_energy = partial_energy + stage_energy
+                best = state["best"]
+                if best is not None and (
+                    candidate_energy + remaining_floor[stage_index + 1]
+                    >= best.energy_uj_per_byte
+                ) and state["fastest"] is not None and (
+                    # The latency incumbent can still improve; only cut
+                    # when the branch cannot help either search. A
+                    # cheap sufficient condition: the partial core loads
+                    # already exceed the fastest plan seen.
+                    max(load.values(), default=0.0)
+                    >= state["fastest"].latency_us_per_byte
+                ):
+                    continue
+                new_load = dict(load)
+                for core in cores:
+                    new_load[core] = new_load.get(
+                        core, 0.0
+                    ) + self.model.compute_latency(stage_index, core, replicas)
+                assignments.append(cores)
+                walk(stage_index + 1, assignments, new_load, candidate_energy)
+                assignments.pop()
+
+        walk(0, [], {}, 0.0)
+        return state["best"], state["fastest"], state["evaluated"]
+
+    # -- iterative scaling ------------------------------------------------------
+
+    def schedule(self, best_effort: bool = False) -> ScheduleResult:
+        """Find the optimal plan, replicating bottleneck stages lazily.
+
+        With ``best_effort=True`` an infeasible workload returns the
+        latency-minimizing plan instead of raising — this is how
+        best-effort mechanisms keep running and get charged their
+        constraint violations.
+        """
+        graph = self.model.graph
+        replica_counts = [1] * graph.stage_count
+        total_evaluated = 0
+        fallback: Optional[PlanEstimate] = None
+        best_overall: Optional[PlanEstimate] = None
+        best_counts: Optional[Tuple[int, ...]] = None
+        core_count = len(self.board.cores)
+
+        while True:
+            best, min_latency, evaluated = self.search(tuple(replica_counts))
+            total_evaluated += evaluated
+            if min_latency is not None:
+                if fallback is None or (
+                    min_latency.latency_us_per_byte
+                    < fallback.latency_us_per_byte
+                ):
+                    fallback = min_latency
+            improved = best is not None and (
+                best_overall is None
+                or best.energy_uj_per_byte < best_overall.energy_uj_per_byte
+            )
+            if improved:
+                best_overall = best
+                best_counts = tuple(replica_counts)
+            if (
+                sum(replica_counts) >= core_count
+                or max(replica_counts) >= self.max_replicas_per_stage
+                or min_latency is None
+            ):
+                break
+            # Replicate the bottleneck stage of the best plan so far (or
+            # of the fastest infeasible plan while still infeasible).
+            reference = best_overall if best_overall is not None else min_latency
+            bottleneck = reference.bottleneck().stage_index
+            if replica_counts[bottleneck] >= self.max_replicas_per_stage:
+                # Saturated; try the next-worst stage.
+                candidates = sorted(
+                    reference.task_estimates,
+                    key=lambda est: -est.l_us_per_byte,
+                )
+                for candidate in candidates:
+                    if (
+                        replica_counts[candidate.stage_index]
+                        < self.max_replicas_per_stage
+                    ):
+                        bottleneck = candidate.stage_index
+                        break
+                else:
+                    break
+            replica_counts[bottleneck] += 1
+
+        if best_overall is not None:
+            return ScheduleResult(
+                estimate=best_overall,
+                replica_counts=best_counts,
+                plans_evaluated=total_evaluated,
+                feasible=True,
+            )
+        if best_effort and fallback is not None:
+            return ScheduleResult(
+                estimate=fallback,
+                replica_counts=tuple(
+                    len(cores) for cores in fallback.plan.assignments
+                ),
+                plans_evaluated=total_evaluated,
+                feasible=False,
+            )
+        raise InfeasiblePlanError(
+            f"no plan meets {self.model.latency_constraint_us_per_byte:.2f} "
+            f"µs/byte for {graph.codec_name} "
+            f"(best achievable: "
+            f"{fallback.latency_us_per_byte if fallback else float('nan'):.2f})"
+        )

@@ -1,0 +1,102 @@
+"""Task graph produced by fine-grained decomposition (paper §IV).
+
+A stream-compression procedure decomposes into a *linear pipeline* of
+:class:`Task` stages, each running one or more consecutive codec steps
+(fused when communication would cost more than computation). Tasks may
+later be *replicated* for data parallelism; replication lives in the
+scheduling plan, not here — a :class:`Task` is the logical stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.compression.base import StepCost
+from repro.errors import ConfigurationError
+
+__all__ = ["Task", "TaskGraph"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One pipeline stage: an ordered group of fused codec steps."""
+
+    name: str
+    step_ids: Tuple[str, ...]
+    stage_index: int
+
+    def __post_init__(self) -> None:
+        if not self.step_ids:
+            raise ConfigurationError(f"task {self.name} has no steps")
+        if self.stage_index < 0:
+            raise ConfigurationError("stage_index must be non-negative")
+
+    def merged_cost(self, step_costs: Mapping[str, StepCost]) -> StepCost:
+        """This task's cost for one batch, given per-step codec costs."""
+        try:
+            costs = [step_costs[step_id] for step_id in self.step_ids]
+        except KeyError as missing:
+            raise ConfigurationError(
+                f"task {self.name} references unknown step {missing}"
+            )
+        return StepCost.merged(costs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{'+'.join(self.step_ids)}]"
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """A linear pipeline of tasks covering a codec's steps in order."""
+
+    codec_name: str
+    tasks: Tuple[Task, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ConfigurationError("task graph needs at least one task")
+        for index, task in enumerate(self.tasks):
+            if task.stage_index != index:
+                raise ConfigurationError(
+                    f"task {task.name} has stage_index {task.stage_index}, "
+                    f"expected {index}"
+                )
+        seen = []
+        for task in self.tasks:
+            seen.extend(task.step_ids)
+        if len(seen) != len(set(seen)):
+            raise ConfigurationError("a step appears in more than one task")
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.tasks)
+
+    def covered_steps(self) -> Tuple[str, ...]:
+        steps = []
+        for task in self.tasks:
+            steps.extend(task.step_ids)
+        return tuple(steps)
+
+    def upstream_of(self, stage_index: int) -> Task:
+        """The producer stage, or None for the first stage (which reads
+        the input stream directly — no communication, Eq 7)."""
+        if stage_index == 0:
+            return None
+        return self.tasks[stage_index - 1]
+
+    @staticmethod
+    def coarse(codec_name: str, step_ids: Tuple[str, ...]) -> "TaskGraph":
+        """The undecomposed graph: one task running every step.
+
+        This is what the coarse-grained mechanisms (OS, CS, and the
+        ``simple`` ablation) schedule — the paper's ``t_all``.
+        """
+        return TaskGraph(
+            codec_name=codec_name,
+            tasks=(Task(name="t_all", step_ids=tuple(step_ids), stage_index=0),),
+        )
+
+    def describe(self) -> str:
+        """Human-readable pipeline summary, e.g. ``t0[s0+s1] -> t1[s2]``."""
+        return " -> ".join(str(task) for task in self.tasks)

@@ -1,0 +1,20 @@
+"""Workload datasets matching the paper's statistical profiles."""
+
+from repro.datasets.base import Dataset
+from repro.datasets.file import FileDataset
+from repro.datasets.loaders import DATASET_NAMES, get_dataset
+from repro.datasets.micro import MicroDataset
+from repro.datasets.rovio import RovioDataset
+from repro.datasets.sensor import SensorDataset
+from repro.datasets.stock import StockDataset
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "FileDataset",
+    "MicroDataset",
+    "RovioDataset",
+    "SensorDataset",
+    "StockDataset",
+    "get_dataset",
+]

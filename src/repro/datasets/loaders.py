@@ -1,0 +1,38 @@
+"""Dataset registry, mirroring the codec registry."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.datasets.base import Dataset
+from repro.datasets.micro import MicroDataset
+from repro.datasets.rovio import RovioDataset
+from repro.datasets.sensor import SensorDataset
+from repro.datasets.stock import StockDataset
+from repro.errors import ConfigurationError
+
+__all__ = ["DATASET_NAMES", "get_dataset"]
+
+_REGISTRY: Dict[str, Type[Dataset]] = {
+    SensorDataset.name: SensorDataset,
+    RovioDataset.name: RovioDataset,
+    StockDataset.name: StockDataset,
+    MicroDataset.name: MicroDataset,
+}
+
+#: Names of all registered datasets, in the paper's order.
+DATASET_NAMES = ("sensor", "rovio", "stock", "micro")
+
+
+def get_dataset(name: str, **options) -> Dataset:
+    """Instantiate a dataset generator by registry name.
+
+    ``options`` are forwarded to the dataset constructor (e.g.
+    ``get_dataset("micro", dynamic_range=50000)``).
+    """
+    try:
+        dataset_class = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown dataset {name!r}; known: {known}")
+    return dataset_class(**options)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the CStream reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class to handle any library failure.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompressionError(ReproError):
+    """A codec failed to compress or decompress a payload."""
+
+
+class CorruptStreamError(CompressionError):
+    """A compressed stream could not be decoded (truncated or corrupt)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a plan for the given constraints."""
+
+
+class InfeasiblePlanError(SchedulingError):
+    """No scheduling plan satisfies the latency constraint with the
+    available hardware resources."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ProfilingError(ReproError):
+    """Dry-run profiling failed to produce usable cost samples."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid parameters."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent options."""

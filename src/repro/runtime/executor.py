@@ -1,0 +1,561 @@
+"""Pipeline executor: runs a scheduling plan on the simulated board.
+
+One *repetition* pushes several batches through the task pipeline as a
+discrete-event simulation:
+
+* every task replica is a DES process pinned to its core;
+* cores are FIFO servers — colocated tasks serialize, with a context
+  switch charged between different tasks (capacity, Eq 3);
+* inter-stage data moves through message channels priced by the
+  interconnect (Eq 7) — one message per producer/consumer pair;
+* service times carry multiplicative lognormal noise (plus any
+  mechanism-specific jitter, e.g. OS migration noise);
+* the energy meter integrates busy power (with replication and
+  shared-state-lock overheads), context switches, DVFS transitions,
+  idle/static power over the window and — when the pipeline's period
+  overruns ``L_set`` — an *overload buffering* penalty for the backlog
+  that accumulates upstream (see DESIGN.md).
+
+Measured compressing latency of a batch is the pipeline's steady-state
+inter-departure period normalized by the batch size (µs/byte), which is
+exactly what Eq 2's ``L_est = max(l_i)`` predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.compression.base import StepCost
+from repro.core.plan import SchedulingPlan
+from repro.errors import ConfigurationError
+from repro.runtime.metrics import BatchMetrics, RepetitionResult, RunResult
+from repro.simcore.boards import BoardSpec
+from repro.simcore.dvfs import Governor, StaticGovernor, get_governor
+from repro.simcore.engine import Simulator, Store
+from repro.simcore.hardware import replication_factor
+from repro.simcore.power import EnergyMeter
+
+__all__ = ["ExecutionConfig", "FaultSpec", "MechanismDynamics", "PipelineExecutor"]
+
+#: κ assumed for context-switch work (kernel code, cache refills)
+_SWITCH_KAPPA = 50.0
+#: real cpufreq governors re-evaluate every ~10 ms; the executor decides
+#: per batch, so transition costs scale by the missed decision points
+GOVERNOR_SAMPLING_PERIOD_US = 10_000.0
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Knobs of one measurement campaign."""
+
+    latency_constraint_us_per_byte: float
+    repetitions: int = 100
+    batches_per_repetition: int = 6
+    warmup_batches: int = 2
+    noise_sigma: float = 0.006
+    seed: int = 0
+    governor: str = "default"
+    frequency_map: Optional[Mapping[int, float]] = None
+    #: µJ/byte charged per µs/byte of period overrun (backlog buffering);
+    #: saturates at the cap — beyond it the ingest queue drops data
+    overload_penalty: float = 0.10
+    overload_penalty_cap_us_per_byte: float = 8.0
+    #: flat µJ/byte cost of spilling the backlog once a batch violates
+    overload_base_penalty: float = 0.08
+    #: stages whose state is shared across replicas pay this per extra
+    #: replica on both time and energy (lock traffic, Fig 5)
+    shared_state: bool = False
+    shared_state_lock_penalty: float = 0.165
+    shared_state_energy_penalty: float = 0.10
+    #: optional injected thermal-throttling fault
+    fault: Optional["FaultSpec"] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_constraint_us_per_byte <= 0:
+            raise ConfigurationError("latency constraint must be positive")
+        if self.repetitions < 1 or self.batches_per_repetition < 1:
+            raise ConfigurationError("need at least one repetition and batch")
+        if self.warmup_batches >= self.batches_per_repetition:
+            raise ConfigurationError("warmup must leave measurable batches")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A thermal-throttling fault: after ``at_batch`` batches complete,
+    ``core_id`` is capped to ``frequency_mhz`` (the SoC's thermal
+    governor stepping in). Used for failure-injection testing and the
+    ``abl_thermal`` experiment."""
+
+    core_id: int
+    at_batch: int
+    frequency_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.at_batch < 0:
+            raise ConfigurationError("at_batch must be non-negative")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError("capped frequency must be positive")
+
+
+@dataclass(frozen=True)
+class MechanismDynamics:
+    """Runtime behaviour injected by the parallelization mechanism."""
+
+    #: preemption context switches per KiB of data processed
+    context_switches_per_kb: float = 0.001
+    #: probability per batch that the OS migrates a task (latency spike)
+    migration_rate_per_batch: float = 0.0
+    #: relative latency cost of one migration event
+    migration_latency_fraction: float = 0.08
+    #: extra lognormal jitter on service times (scheduler interference)
+    latency_jitter_sigma: float = 0.0
+
+
+class _CoreServer:
+    """FIFO work server for one core inside a repetition's DES."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        core_spec,
+        frequency_mhz: float,
+        meter: EnergyMeter,
+        switch_instructions: float,
+    ) -> None:
+        self.simulator = simulator
+        self.core = core_spec
+        self.frequency_mhz = frequency_mhz
+        self.meter = meter
+        self.switch_instructions = switch_instructions
+        self.requests = Store(simulator)
+        self.busy_us = 0.0
+        self.energy_by_batch: Dict[int, float] = {}
+        self.spans: List = []  # (task_name, batch, start_us, end_us)
+        self._last_task: Optional[str] = None
+        simulator.process(self._serve(), name=f"core{core_spec.core_id}")
+
+    def submit(
+        self,
+        task_name: str,
+        batch_index: int,
+        duration_us: float,
+        energy_uj: float,
+    ):
+        """Queue ``duration_us`` of occupancy drawing ``energy_uj``."""
+        done = self.simulator.event()
+        self.requests.put(
+            (task_name, batch_index, duration_us, energy_uj, done)
+        )
+        return done
+
+    def _serve(self):
+        while True:
+            item = yield self.requests.get()
+            task_name, batch_index, duration, energy_uj, done = item
+            if self._last_task is not None and self._last_task != task_name:
+                switch_us = self.switch_instructions / self.core.eta_at(
+                    _SWITCH_KAPPA, self.frequency_mhz
+                )
+                switch_energy = switch_us * self.core.busy_power_w(
+                    _SWITCH_KAPPA, self.frequency_mhz
+                )
+                self.meter.record_overhead(switch_energy)
+                self.busy_us += switch_us
+                yield self.simulator.timeout(switch_us)
+            self._last_task = task_name
+            start = self.simulator.now
+            yield self.simulator.timeout(duration)
+            self.spans.append(
+                (task_name, batch_index, start, self.simulator.now)
+            )
+            mean_power = energy_uj / duration if duration > 0 else 0.0
+            energy = self.meter.record_busy(
+                self.core.core_id, start, duration, mean_power
+            )
+            self.busy_us += duration
+            self.energy_by_batch[batch_index] = (
+                self.energy_by_batch.get(batch_index, 0.0) + energy
+            )
+            done.succeed(None)
+
+
+class PipelineExecutor:
+    """Runs scheduling plans on a simulated board and measures them.
+
+    After a run, :attr:`last_trace` holds the final repetition's
+    execution trace: ``{core_id: [(task, batch, start_us, end_us), ...]}``
+    — the raw material for Gantt rendering and occupancy debugging.
+    """
+
+    def __init__(self, board: BoardSpec, config: ExecutionConfig) -> None:
+        self.board = board
+        self.config = config
+        self.last_trace: Dict[int, List] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        plan: Union[SchedulingPlan, Callable[[int, np.random.Generator], SchedulingPlan]],
+        per_batch_step_costs: Sequence[Mapping[str, StepCost]],
+        batch_bytes: int,
+        dynamics: MechanismDynamics = MechanismDynamics(),
+        shared_state_stages: Set[int] = frozenset(),
+    ) -> RunResult:
+        """Measure a plan (or a per-repetition plan factory) repeatedly."""
+        repetition_results = []
+        for repetition in range(self.config.repetitions):
+            rng = np.random.default_rng(self.config.seed + 7919 * repetition)
+            current_plan = plan(repetition, rng) if callable(plan) else plan
+            governor = self._make_governor()
+            batches = self._run_once(
+                current_plan,
+                per_batch_step_costs,
+                batch_bytes,
+                rng,
+                governor,
+                dynamics,
+                shared_state_stages,
+            )
+            measured = batches[self.config.warmup_batches:]
+            latency = float(np.mean([b.latency_us_per_byte for b in measured]))
+            energy = float(np.mean([b.energy_uj_per_byte for b in measured]))
+            repetition_results.append(
+                RepetitionResult(
+                    repetition=repetition,
+                    batches=tuple(batches),
+                    latency_us_per_byte=latency,
+                    energy_uj_per_byte=energy,
+                    violated=latency > self.config.latency_constraint_us_per_byte,
+                    plan_description=current_plan.describe(),
+                )
+            )
+        return RunResult(repetitions=tuple(repetition_results))
+
+    def run_single(
+        self,
+        plan: SchedulingPlan,
+        per_batch_step_costs: Sequence[Mapping[str, StepCost]],
+        batch_bytes: int,
+        rng: np.random.Generator,
+        governor: Optional[Governor] = None,
+        dynamics: MechanismDynamics = MechanismDynamics(),
+        shared_state_stages: Set[int] = frozenset(),
+    ) -> List[BatchMetrics]:
+        """One repetition with full control (used by the adaptive loop)."""
+        if governor is None:
+            governor = self._make_governor()
+        return self._run_once(
+            plan,
+            per_batch_step_costs,
+            batch_bytes,
+            rng,
+            governor,
+            dynamics,
+            shared_state_stages,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _make_governor(self) -> Governor:
+        if self.config.governor == "default":
+            return StaticGovernor(self.board, self.config.frequency_map)
+        return get_governor(self.config.governor, self.board)
+
+    def _run_once(
+        self,
+        plan: SchedulingPlan,
+        per_batch_step_costs: Sequence[Mapping[str, StepCost]],
+        batch_bytes: int,
+        rng: np.random.Generator,
+        governor: Governor,
+        dynamics: MechanismDynamics,
+        shared_state_stages: Set[int],
+    ) -> List[BatchMetrics]:
+        config = self.config
+        board = self.board
+        graph = plan.graph
+        batch_count = len(per_batch_step_costs)
+        interconnect = board.interconnect
+
+        # Per-batch merged stage costs.
+        stage_costs: List[List[StepCost]] = [
+            [task.merged_cost(costs) for task in graph.tasks]
+            for costs in per_batch_step_costs
+        ]
+
+        simulator = Simulator()
+        meter = EnergyMeter(board)
+        servers = {
+            core.core_id: _CoreServer(
+                simulator,
+                core,
+                governor.frequency_of(core.core_id),
+                meter,
+                board.context_switch_instructions,
+            )
+            for core in board.cores
+        }
+
+        # Shared-state stages serialize through a lock: one token per
+        # stage, so replicated workers of that stage cannot overlap —
+        # this is what nullifies data parallelism in Fig 5's "share"
+        # configuration.
+        stage_locks: Dict[int, Store] = {}
+        if config.shared_state:
+            for stage_index in shared_state_stages:
+                lock = Store(simulator, capacity=1)
+                lock.put(object())
+                stage_locks[stage_index] = lock
+
+        # Message channels: one store per (producer, consumer) pair so a
+        # fast producer cannot make a consumer start a batch before every
+        # upstream share has arrived.
+        stage_inputs: List[List[List[Store]]] = []
+        for stage_index, cores in enumerate(plan.assignments):
+            producer_count = (
+                1 if stage_index == 0 else plan.replicas(stage_index - 1)
+            )
+            stage_inputs.append(
+                [
+                    [Store(simulator, capacity=1) for _ in range(producer_count)]
+                    for _ in cores
+                ]
+            )
+        completions: Dict[int, float] = {}
+        final_tokens: Dict[int, int] = {}
+        pending_stall: Dict[int, float] = {}
+        last_stage = graph.stage_count - 1
+        final_replicas = plan.replicas(last_stage)
+        previous_busy: Dict[int, float] = {c: 0.0 for c in servers}
+        previous_time = [0.0]
+
+        completed_batches = [0]
+
+        def on_batch_complete() -> None:
+            """Sink hook: inject faults, feed the DVFS governor."""
+            completed_batches[0] += 1
+            fault = config.fault
+            if (
+                fault is not None
+                and completed_batches[0] == fault.at_batch
+                and fault.core_id in servers
+            ):
+                servers[fault.core_id].frequency_mhz = min(
+                    servers[fault.core_id].frequency_mhz,
+                    fault.frequency_mhz,
+                )
+            now = simulator.now
+            elapsed = now - previous_time[0]
+            if elapsed <= 0.0:
+                return
+            utilization = {}
+            for core_id, server in servers.items():
+                utilization[core_id] = min(
+                    (server.busy_us - previous_busy[core_id]) / elapsed, 1.0
+                )
+                previous_busy[core_id] = server.busy_us
+            previous_time[0] = now
+            before = dict(governor.frequencies)
+            after = governor.observe(utilization)
+            changes = [c for c in after if after[c] != before[c]]
+            if changes:
+                # A change at batch granularity stands for the decisions
+                # the real governor made every sampling period meanwhile.
+                samples = max(elapsed / GOVERNOR_SAMPLING_PERIOD_US, 1.0)
+                stall_us, energy_uj = governor.transition_cost(len(changes))
+                scale = samples * governor.oscillation_factor
+                meter.record_overhead(energy_uj * scale)
+                for core_id in changes:
+                    servers[core_id].frequency_mhz = after[core_id]
+                    pending_stall[core_id] = (
+                        pending_stall.get(core_id, 0.0) + stall_us * scale
+                    )
+
+        def task_process(stage_index: int, replica_index: int, core_id: int):
+            replicas = plan.replicas(stage_index)
+            server = servers[core_id]
+            lat_overhead = replication_factor(
+                board.replication_latency_overhead, replicas
+            )
+            energy_factor = replication_factor(
+                board.replication_energy_overhead, replicas
+            )
+            lock_factor = 1.0
+            lock_energy_factor = 1.0
+            if config.shared_state and stage_index in shared_state_stages:
+                lock_factor = 1.0 + config.shared_state_lock_penalty * (
+                    replicas - 1
+                )
+                lock_energy_factor = 1.0 + config.shared_state_energy_penalty * (
+                    replicas - 1
+                )
+            inboxes = stage_inputs[stage_index][replica_index]
+            for batch_index in range(batch_count):
+                if stage_index == 0:
+                    yield inboxes[0].get()  # source token
+                else:
+                    comm_us = 0.0
+                    for inbox in inboxes:
+                        token = yield inbox.get()
+                        producer_core, transfer_bytes = token[1], token[2]
+                        path = board.path_between(producer_core, core_id)
+                        comm_us += interconnect.transfer_latency_us(
+                            path, transfer_bytes
+                        )
+                        meter.record_overhead(
+                            interconnect.message_energy(path)
+                        )
+                    if comm_us > 0.0:
+                        yield simulator.timeout(comm_us)
+                cost = stage_costs[batch_index][stage_index]
+                kappa = cost.operational_intensity
+                instructions = cost.instructions / replicas
+                eta = server.core.eta_at(kappa, server.frequency_mhz)
+                power = server.core.busy_power_w(kappa, server.frequency_mhz)
+                sigma = config.noise_sigma + dynamics.latency_jitter_sigma
+                noise = float(rng.lognormal(0.0, sigma)) if sigma > 0 else 1.0
+                base_duration = instructions / eta * noise
+                duration = base_duration * lock_factor * lat_overhead
+                energy_uj = (
+                    base_duration * power * energy_factor * lock_energy_factor
+                )
+                if dynamics.migration_rate_per_batch > 0.0 and (
+                    rng.random() < dynamics.migration_rate_per_batch
+                ):
+                    duration *= 1.0 + dynamics.migration_latency_fraction
+                    meter.record_overhead(
+                        base_duration
+                        * dynamics.migration_latency_fraction
+                        * power
+                    )
+                extra_switches = (
+                    (batch_bytes / replicas) / 1024.0
+                    * dynamics.context_switches_per_kb
+                )
+                if extra_switches > 0.0:
+                    switch_us = (
+                        extra_switches
+                        * board.context_switch_instructions
+                        / server.core.eta_at(_SWITCH_KAPPA, server.frequency_mhz)
+                    )
+                    duration += switch_us
+                    meter.record_overhead(
+                        switch_us
+                        * server.core.busy_power_w(
+                            _SWITCH_KAPPA, server.frequency_mhz
+                        )
+                    )
+                duration += pending_stall.pop(core_id, 0.0)
+                lock = stage_locks.get(stage_index)
+                if lock is not None:
+                    token = yield lock.get()
+                yield server.submit(
+                    f"s{stage_index}r{replica_index}",
+                    batch_index,
+                    duration,
+                    energy_uj,
+                )
+                if lock is not None:
+                    yield lock.put(token)
+                if stage_index == last_stage:
+                    final_tokens[batch_index] = (
+                        final_tokens.get(batch_index, 0) + 1
+                    )
+                    if final_tokens[batch_index] == final_replicas:
+                        completions[batch_index] = simulator.now
+                        on_batch_complete()
+                else:
+                    consumer_count = plan.replicas(stage_index + 1)
+                    share = cost.output_bytes / replicas / consumer_count
+                    for consumer_index in range(consumer_count):
+                        inbox = stage_inputs[stage_index + 1][consumer_index][
+                            replica_index
+                        ]
+                        yield inbox.put((batch_index, core_id, share))
+
+        def source_process():
+            for batch_index in range(batch_count):
+                for consumer_inboxes in stage_inputs[0]:
+                    yield consumer_inboxes[0].put((batch_index, -1, 0.0))
+
+        for stage_index, cores in enumerate(plan.assignments):
+            for replica_index, core_id in enumerate(cores):
+                simulator.process(
+                    task_process(stage_index, replica_index, core_id),
+                    name=f"task-s{stage_index}r{replica_index}",
+                )
+        simulator.process(source_process(), name="source")
+        simulator.run()
+        if len(completions) != batch_count:
+            missing = batch_count - len(completions)
+            raise ConfigurationError(
+                f"pipeline deadlocked: {missing} batches never completed"
+            )
+
+        self.last_trace = {
+            core_id: list(server.spans)
+            for core_id, server in servers.items()
+        }
+        return self._collect_metrics(
+            plan, servers, meter, completions, batch_bytes, governor
+        )
+
+    def _collect_metrics(
+        self,
+        plan: SchedulingPlan,
+        servers: Dict[int, "_CoreServer"],
+        meter: EnergyMeter,
+        completions: Dict[int, float],
+        batch_bytes: int,
+        governor: Governor,
+    ) -> List[BatchMetrics]:
+        config = self.config
+        board = self.board
+        batch_count = len(completions)
+        window_us = max(completions.values())
+        static_power = board.uncore_power_w + sum(
+            core.static_power_w for core in board.cores
+        )
+
+        energy_by_batch: Dict[int, float] = {b: 0.0 for b in range(batch_count)}
+        for server in servers.values():
+            for batch_index, energy in server.energy_by_batch.items():
+                energy_by_batch[batch_index] += energy
+        overhead_total = meter.finalize(window_us).overhead_uj
+        overhead_share = overhead_total / batch_count
+
+        metrics: List[BatchMetrics] = []
+        previous = 0.0
+        for batch_index in range(batch_count):
+            period_us = completions[batch_index] - previous
+            previous = completions[batch_index]
+            latency = period_us / batch_bytes
+            energy = (
+                energy_by_batch[batch_index]
+                + static_power * period_us
+                + overhead_share
+            )
+            violated = latency > config.latency_constraint_us_per_byte
+            warmup = batch_index < config.warmup_batches
+            if violated and not warmup and config.overload_penalty > 0.0:
+                excess = min(
+                    latency - config.latency_constraint_us_per_byte,
+                    config.overload_penalty_cap_us_per_byte,
+                )
+                energy += (
+                    config.overload_base_penalty
+                    + config.overload_penalty * excess
+                ) * batch_bytes
+            metrics.append(
+                BatchMetrics(
+                    batch_index=batch_index,
+                    latency_us_per_byte=latency,
+                    energy_uj_per_byte=energy / batch_bytes,
+                    violated=violated,
+                )
+            )
+        return metrics

@@ -1,0 +1,133 @@
+"""Text rendering of scheduling plans and measurements.
+
+Terminal-friendly views for debugging and the examples: a per-core
+occupancy chart of a plan estimate (who runs where, how close each core
+is to the latency budget) and a sparkline of the energy meter's power
+trace.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.plan import PlanEstimate
+from repro.simcore.boards import BoardSpec
+
+__all__ = ["render_plan", "render_power_trace", "render_gantt"]
+
+_BAR_WIDTH = 36
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_plan(estimate: PlanEstimate, board: BoardSpec) -> str:
+    """Per-core occupancy chart of a plan against its latency budget.
+
+    >>> print(render_plan(estimate, board))      # doctest: +SKIP
+    core 4 A72 (big)    |t0######----------| 13.9 µs/B
+    core 0 A53 (little) |t1################| 24.9 µs/B  <- bottleneck
+    """
+    budget = max(
+        (task.l_us_per_byte for task in estimate.task_estimates),
+        default=1.0,
+    )
+    budget = max(budget, max(estimate.core_load_us_per_byte.values(), default=0))
+    bottleneck = estimate.bottleneck()
+
+    by_core = {}
+    for task in estimate.task_estimates:
+        by_core.setdefault(task.core_id, []).append(task)
+
+    lines: List[str] = []
+    for core in board.cores:
+        tasks = by_core.get(core.core_id, [])
+        kind = "big" if core.is_big else "little"
+        label = f"core {core.core_id} {core.model} ({kind})"
+        if not tasks:
+            lines.append(f"{label:28s} |{'-' * _BAR_WIDTH}| idle")
+            continue
+        bar = ""
+        total = 0.0
+        for task in tasks:
+            stage = estimate.plan.graph.tasks[task.stage_index].name
+            width = max(
+                1, round(task.l_comp_us_per_byte / budget * _BAR_WIDTH)
+            )
+            cell = (stage + "#" * _BAR_WIDTH)[:width]
+            bar += cell
+            total += task.l_comp_us_per_byte
+        bar = (bar + "-" * _BAR_WIDTH)[:_BAR_WIDTH]
+        marker = ""
+        if any(
+            t.stage_index == bottleneck.stage_index
+            and t.replica_index == bottleneck.replica_index
+            for t in tasks
+        ):
+            marker = "  <- bottleneck"
+        lines.append(f"{label:28s} |{bar}| {total:5.1f} µs/B{marker}")
+    lines.append(
+        f"{'':28s}  L_est={estimate.latency_us_per_byte:.2f} µs/B, "
+        f"E_est={estimate.energy_uj_per_byte:.3f} µJ/B"
+    )
+    return "\n".join(lines)
+
+
+def render_power_trace(samples, width: int = 72) -> str:
+    """Sparkline of (time, watts) samples from the energy meter.
+
+    Downsamples to ``width`` columns; each column's level is the mean
+    power in its window, scaled to the trace's maximum.
+    """
+    if not samples:
+        return "(no samples)"
+    powers = [power for _, power in samples]
+    peak = max(powers) or 1.0
+    bucket = max(1, len(powers) // width)
+    columns = []
+    for start in range(0, len(powers), bucket):
+        window = powers[start:start + bucket]
+        level = sum(window) / len(window) / peak
+        index = min(round(level * (len(_SPARK_LEVELS) - 1)), len(_SPARK_LEVELS) - 1)
+        columns.append(_SPARK_LEVELS[index])
+    duration = samples[-1][0]
+    return (
+        "".join(columns)
+        + f"\npeak {peak * 1000:.1f} mW over {duration / 1000:.1f} ms"
+    )
+
+
+def render_gantt(
+    trace,
+    board: BoardSpec,
+    width: int = 72,
+) -> str:
+    """ASCII Gantt chart of a measured execution trace.
+
+    ``trace`` is :attr:`PipelineExecutor.last_trace`:
+    ``{core_id: [(task, batch, start_us, end_us), ...]}``. Each core is
+    one row; busy spans print the digit of the batch they served (task
+    boundaries show as transitions), idle time prints ``.``.
+    """
+    end_time = max(
+        (span[3] for spans in trace.values() for span in spans),
+        default=0.0,
+    )
+    if end_time <= 0:
+        return "(empty trace)"
+    scale = width / end_time
+    lines: List[str] = []
+    for core in board.cores:
+        row = ["."] * width
+        for task_name, batch, start, end in trace.get(core.core_id, ()):
+            first = min(int(start * scale), width - 1)
+            last = min(int(end * scale), width - 1)
+            glyph = str(batch % 10)
+            for column in range(first, max(last, first) + 1):
+                row[column] = glyph
+        kind = "big" if core.is_big else "little"
+        lines.append(
+            f"core {core.core_id} ({kind:6s}) |{''.join(row)}|"
+        )
+    lines.append(
+        f"{'':16s} 0 {'·' * (width - 12)} {end_time / 1000:.1f} ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""A compact discrete-event simulation engine.
+
+The asymmetric-multicore board is simulated as a set of cooperating
+processes (compression tasks, DVFS governors, the OS scheduler) advancing
+a shared virtual clock. The engine is a minimal generator-based DES in
+the style of SimPy:
+
+* a :class:`Simulator` owns the event heap and the clock (microseconds);
+* a :class:`Process` wraps a generator that ``yield``\\ s events — most
+  commonly :meth:`Simulator.timeout` — and resumes when they fire;
+* a :class:`Store` is a FIFO channel with optional capacity, used for the
+  message queues between pipeline tasks.
+
+Only the features this package needs are implemented, but they are
+implemented fully: deterministic FIFO ordering for simultaneous events,
+process completion events (so processes can join each other), and error
+propagation out of :meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Process", "Simulator", "Store"]
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event is *queued* once :meth:`succeed` places it on the heap with
+    a value, and *triggered* once the simulator pops it and runs its
+    callbacks. Processes waiting on an event resume with its value.
+    """
+
+    __slots__ = ("simulator", "callbacks", "queued", "triggered", "value")
+
+    def __init__(self, simulator: "Simulator") -> None:
+        self.simulator = simulator
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self.queued = False
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Queue the event to fire ``delay`` µs from now with ``value``."""
+        if self.queued:
+            raise SimulationError("event succeeded twice")
+        self.queued = True
+        self.value = value
+        self.simulator._schedule(delay, self)
+        return self
+
+
+class Process(Event):
+    """An active entity driven by a generator.
+
+    The generator yields :class:`Event` instances; the process resumes
+    with ``event.value`` when the event fires. A process is itself an
+    event that triggers (with the generator's return value) when the
+    generator finishes, so other processes can wait for it.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "process",
+    ) -> None:
+        super().__init__(simulator)
+        self._generator = generator
+        self.name = name
+        bootstrap = Event(simulator)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            if not self.queued:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.triggered:
+            # The event already fired; resume on the next tick so that
+            # event ordering stays deterministic.
+            immediate = Event(self.simulator)
+            immediate.callbacks.append(self._resume)
+            immediate.succeed(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """Event heap plus virtual clock (time unit: microseconds)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List = []
+        self._sequence = 0
+
+    def _schedule(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} into the past")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` microseconds from now."""
+        event = Event(self)
+        event.succeed(value, delay=delay)
+        return event
+
+    def event(self) -> Event:
+        """A fresh unqueued event (queue it with ``succeed``)."""
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "process") -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the heap drains or the clock passes
+        ``until``. Returns the final clock value."""
+        while self._heap:
+            time, _seq, event = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            event.triggered = True
+            callbacks, event.callbacks = event.callbacks, []
+            for callback in callbacks:
+                callback(event)
+        if until is not None:
+            self.now = until
+        return self.now
+
+
+class Store:
+    """FIFO channel between processes, with optional capacity.
+
+    ``put`` returns an event that fires when the item has been accepted
+    (immediately unless the store is full); ``get`` returns an event that
+    fires with the oldest item once one is available.
+    """
+
+    def __init__(self, simulator: Simulator, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.simulator = simulator
+        self.capacity = capacity
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List = []  # (event, item) pairs waiting for room
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.simulator)
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(None)
+            self._dispatch()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.simulator)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        while self._getters and self._items:
+            getter = self._getters.pop(0)
+            getter.succeed(self._items.pop(0))
+            while self._putters and (
+                self.capacity is None or len(self._items) < self.capacity
+            ):
+                putter, item = self._putters.pop(0)
+                self._items.append(item)
+                putter.succeed(None)

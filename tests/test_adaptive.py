@@ -1,0 +1,125 @@
+"""Incremental PID and feedback regulation (§V-D, Eq 8)."""
+
+import pytest
+
+from repro.core.adaptive import FeedbackRegulator, IncrementalPID
+from repro.errors import ConfigurationError
+
+
+class TestIncrementalPID:
+    def test_eq8_first_step(self):
+        pid = IncrementalPID(p=0.1, i=0.85, d=0.05)
+        # With e_{k-1} = e_{k-2} = 0: δ = (P + I + D)·e.
+        assert pid.step(1.0) == pytest.approx(1.0)
+
+    def test_eq8_second_step(self):
+        pid = IncrementalPID(p=0.1, i=0.85, d=0.05)
+        pid.step(1.0)
+        # δ = P(e2-e1) + I·e2 + D(e2 - 2e1 + e0)
+        expected = 0.1 * (2.0 - 1.0) + 0.85 * 2.0 + 0.05 * (2.0 - 2.0 + 0.0)
+        assert pid.step(2.0) == pytest.approx(expected)
+
+    def test_eq8_third_step_uses_both_histories(self):
+        pid = IncrementalPID(p=0.1, i=0.85, d=0.05)
+        pid.step(1.0)
+        pid.step(2.0)
+        expected = 0.1 * (3.0 - 2.0) + 0.85 * 3.0 + 0.05 * (3.0 - 4.0 + 1.0)
+        assert pid.step(3.0) == pytest.approx(expected)
+
+    def test_zero_error_zero_delta(self):
+        pid = IncrementalPID()
+        pid.step(0.0)
+        assert pid.step(0.0) == 0.0
+
+    def test_observation_counter(self):
+        pid = IncrementalPID()
+        assert pid.observations == 0
+        pid.step(1.0)
+        pid.step(1.0)
+        assert pid.observations == 2
+        pid.reset()
+        assert pid.observations == 0
+
+    def test_integral_dominates_defaults(self):
+        """The paper's PSO-tuned gains are I-heavy: a constant error
+        produces a steady corrective push."""
+        pid = IncrementalPID()
+        deltas = [pid.step(1.0) for _ in range(5)]
+        assert all(delta >= 0.75 for delta in deltas[1:])
+
+    def test_converges_on_simple_plant(self):
+        """Closed loop: x tracks a target through the controller."""
+        pid = IncrementalPID()
+        x, target = 1.0, 2.0
+        for _ in range(12):
+            x += pid.step(target - x)
+        assert x == pytest.approx(target, rel=0.05)
+
+
+@pytest.fixture
+def regulator():
+    from repro.core.baselines import WorkloadContext
+    from repro.core.profiler import profile_workload
+    from repro.compression import get_codec
+    from repro.datasets import get_dataset
+    from repro.simcore.boards import rk3399
+
+    profile = profile_workload(
+        get_codec("tcomp32"), get_dataset("rovio"), 8192, batches=4
+    )
+    context = WorkloadContext.build(rk3399(), profile, 26.0)
+    return FeedbackRegulator(context.cost_model(context.fine_graph))
+
+
+class TestFeedbackRegulator:
+    def test_initial_plan_scheduled(self, regulator):
+        assert regulator.plan is not None
+        assert regulator.estimate.feasible
+
+    def test_accurate_measurement_no_calibration(self, regulator):
+        estimated = regulator.estimate.latency_us_per_byte
+        event = regulator.observe(0, estimated * 1.02)
+        assert not event.calibrating
+        assert not event.replanned
+        assert event.latency_scale == 1.0
+
+    def test_drift_triggers_calibration(self, regulator):
+        estimated = regulator.estimate.latency_us_per_byte
+        event = regulator.observe(0, estimated * 1.4)
+        assert event.calibrating
+        assert event.latency_scale > 1.0
+
+    def test_calibration_needs_three_observations(self, regulator):
+        """Eq 8 references e_k, e_{k-1}, e_{k-2}; replanning waits for
+        at least three controller steps."""
+        estimated = regulator.estimate.latency_us_per_byte
+        measured = estimated * 1.4
+        replan_batch = None
+        for batch in range(8):
+            event = regulator.observe(batch, measured)
+            if event.replanned:
+                replan_batch = batch
+                break
+        assert replan_batch is not None
+        assert replan_batch >= 2
+
+    def test_model_converges_to_measurement(self, regulator):
+        estimated = regulator.estimate.latency_us_per_byte
+        measured = estimated * 1.4
+        for batch in range(8):
+            event = regulator.observe(batch, measured)
+            if event.replanned:
+                break
+        # After calibration the (pre-replan) model tracked the plant.
+        assert regulator.model.latency_scale[0] == pytest.approx(1.4, rel=0.15)
+
+    def test_events_recorded(self, regulator):
+        estimated = regulator.estimate.latency_us_per_byte
+        regulator.observe(0, estimated)
+        regulator.observe(1, estimated * 1.5)
+        assert len(regulator.events) == 2
+        assert regulator.events[1].relative_error > 0.4
+
+    def test_invalid_threshold_rejected(self, regulator):
+        with pytest.raises(ConfigurationError):
+            FeedbackRegulator(regulator.model, error_threshold=0.0)

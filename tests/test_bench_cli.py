@@ -1,0 +1,42 @@
+"""The bench CLI (`python -m repro.bench`)."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestBenchCli:
+    def test_listing(self, capsys):
+        assert main([]) == 0
+        output = capsys.readouterr().out
+        assert "fig7" in output and "tab5" in output and "abl_guard" in output
+
+    def test_single_experiment(self, capsys):
+        assert main(["tab4"]) == 0
+        output = capsys.readouterr().out
+        assert "task comparison" in output
+        assert "t_re x2" in output
+
+    def test_repetitions_forwarded_when_supported(self, capsys):
+        assert main(["fig17", "--repetitions", "4"]) == 0
+        assert "break-down" in capsys.readouterr().out
+
+    def test_repetitions_ignored_when_unsupported(self, capsys):
+        # tab4 takes no repetitions parameter; the flag must not crash it.
+        assert main(["tab4", "--repetitions", "4"]) == 0
+
+    def test_report_command(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_REPETITIONS", "2")
+        # A fresh default harness would still be heavy; patch it small.
+        from repro.bench import report as report_module
+        from repro.bench.harness import Harness
+
+        monkeypatch.setattr(
+            report_module, "Harness",
+            lambda: Harness(repetitions=2, batches_per_repetition=4,
+                            profile_batches=3),
+        )
+        path = tmp_path / "out.md"
+        assert main(["report", "--output", str(path)]) == 0
+        assert path.exists()
+        assert "CStream reproduction report" in path.read_text()

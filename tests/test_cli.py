@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def sample_file(tmp_path, rng):
+    path = tmp_path / "input.bin"
+    path.write_bytes(rng.integers(0, 1000, 4096, dtype=np.uint32).tobytes())
+    return path
+
+
+class TestCompressDecompress:
+    def test_round_trip(self, tmp_path, sample_file, capsys):
+        compressed = tmp_path / "out.cz"
+        restored = tmp_path / "back.bin"
+        assert main(
+            ["compress", "tcomp32", str(sample_file), str(compressed)]
+        ) == 0
+        assert main(
+            ["decompress", "tcomp32", str(compressed), str(restored)]
+        ) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+        output = capsys.readouterr().out
+        assert "frames" in output and "ratio" in output
+
+    def test_partial_word_tail_padded(self, tmp_path, capsys):
+        source = tmp_path / "odd.bin"
+        source.write_bytes(b"\x01\x02\x03\x04\x05")  # 5 bytes
+        compressed = tmp_path / "odd.cz"
+        restored = tmp_path / "odd.back"
+        main(["compress", "tcomp32", str(source), str(compressed)])
+        main(["decompress", "tcomp32", str(compressed), str(restored)])
+        back = restored.read_bytes()
+        assert back.startswith(source.read_bytes())
+        assert len(back) == 8  # padded to the next word
+
+    def test_stateful_codec_round_trip(self, tmp_path, sample_file):
+        compressed = tmp_path / "out.tz"
+        restored = tmp_path / "back.bin"
+        main(["compress", "tdic32", str(sample_file), str(compressed)])
+        main(["decompress", "tdic32", str(compressed), str(restored)])
+        assert restored.read_bytes() == sample_file.read_bytes()
+
+    def test_missing_input_is_error_not_traceback(self, tmp_path, capsys):
+        code = main(
+            ["compress", "lz4", str(tmp_path / "nope"), str(tmp_path / "o")]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_wrong_codec_on_decompress_fails_cleanly(
+        self, tmp_path, sample_file, capsys
+    ):
+        compressed = tmp_path / "out.cz"
+        main(["compress", "tdic32", str(sample_file), str(compressed)])
+        code = main(
+            ["decompress", "tcomp32", str(compressed), str(tmp_path / "x")]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPlanAndSimulate:
+    def test_plan_prints_chart(self, capsys):
+        assert main(
+            ["plan", "tcomp32", "rovio", "--batch-bytes", "8192"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "decomposition:  t0[s0+s1] -> t1[s2]" in output
+        assert "bottleneck" in output
+        assert "core 4" in output
+
+    def test_plan_on_jetson(self, capsys):
+        assert main(
+            ["plan", "tdic32", "stock", "--board", "jetson",
+             "--batch-bytes", "8192"]
+        ) == 0
+        assert "Jetson" in capsys.readouterr().out
+
+    def test_simulate_reports_metrics(self, capsys):
+        assert main(
+            ["simulate", "tcomp32", "rovio", "--repetitions", "3"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "energy" in output and "CLCV" in output
+
+    def test_simulate_baseline_mechanism(self, capsys):
+        assert main(
+            ["simulate", "tcomp32", "rovio", "--mechanism", "LO",
+             "--repetitions", "3"]
+        ) == 0
+
+
+class TestBoards:
+    def test_lists_both_boards(self, capsys):
+        assert main(["boards"]) == 0
+        output = capsys.readouterr().out
+        assert "rk3399" in output and "jetson" in output

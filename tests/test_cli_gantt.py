@@ -1,0 +1,22 @@
+"""CLI Gantt flag and remaining command paths."""
+
+from repro.cli import main
+
+
+class TestSimulateGantt:
+    def test_gantt_printed(self, capsys):
+        assert main(
+            ["simulate", "tcomp32", "rovio", "--repetitions", "2", "--gantt"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "core 0" in output and "core 5" in output
+        assert "ms" in output  # timeline footer
+
+    def test_gantt_shows_plan_cores_busy(self, capsys):
+        main(["simulate", "tcomp32", "rovio", "--repetitions", "2", "--gantt"])
+        output = capsys.readouterr().out
+        gantt_lines = [
+            line for line in output.splitlines() if line.startswith("core")
+        ]
+        busy = [line for line in gantt_lines if any(d in line for d in "0123")]
+        assert len(busy) >= 2  # at least the two pipeline stages

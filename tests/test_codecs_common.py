@@ -1,0 +1,151 @@
+"""Cross-codec contracts: every registered codec honours the same API."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CODEC_NAMES, get_codec
+from repro.compression.base import StepCost, StepRole, validate_step_costs
+from repro.datasets import DATASET_NAMES, get_dataset
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(params=CODEC_NAMES)
+def codec(request):
+    return get_codec(request.param)
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in CODEC_NAMES:
+            assert get_codec(name).name == name
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_codec("zstd")
+
+    def test_options_forwarded(self):
+        codec = get_codec("tdic32", index_bits=8)
+        assert codec.index_bits == 8
+
+
+class TestStepContract:
+    def test_steps_ordered_s0_first(self, codec):
+        ids = codec.step_ids()
+        assert ids[0] == "s0"
+        assert ids == tuple(f"s{i}" for i in range(len(ids)))
+
+    def test_first_step_reads_last_writes(self, codec):
+        steps = codec.steps()
+        assert steps[0].role is StepRole.READ
+        assert steps[-1].role is StepRole.WRITE
+
+    def test_stateful_codecs_have_state_update(self, codec):
+        roles = {spec.role for spec in codec.steps()}
+        assert (StepRole.STATE_UPDATE in roles) == codec.stateful
+
+
+class TestCostContract:
+    @pytest.mark.parametrize("dataset_name", DATASET_NAMES)
+    def test_costs_cover_all_steps(self, codec, dataset_name):
+        data = get_dataset(dataset_name).generate(4096, seed=3)
+        result = codec.compress(data)
+        validate_step_costs(codec, result.step_costs)
+
+    def test_costs_non_negative(self, codec, rovio_data):
+        result = codec.compress(rovio_data)
+        for cost in result.step_costs.values():
+            assert cost.instructions >= 0
+            assert cost.memory_accesses >= 0
+            assert cost.output_bytes >= 0
+
+    def test_first_step_input_is_batch(self, codec, rovio_data):
+        result = codec.compress(rovio_data)
+        assert result.step_costs["s0"].input_bytes == len(rovio_data)
+
+    def test_last_step_output_is_payload(self, codec, rovio_data):
+        result = codec.compress(rovio_data)
+        last = codec.step_ids()[-1]
+        assert result.step_costs[last].output_bytes == result.output_size
+
+    def test_deterministic_costs(self, rovio_data, codec):
+        first = get_codec(codec.name).compress(rovio_data)
+        second = get_codec(codec.name).compress(rovio_data)
+        assert first.payload == second.payload
+        for step in first.step_costs:
+            assert (
+                first.step_costs[step].instructions
+                == second.step_costs[step].instructions
+            )
+
+    def test_total_instructions_positive(self, codec, rovio_data):
+        result = codec.compress(rovio_data)
+        assert result.total_instructions() > 0
+        assert result.total_memory_accesses() > 0
+
+
+class TestStepCost:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StepCost(instructions=-1, memory_accesses=0, input_bytes=0,
+                     output_bytes=0)
+
+    def test_operational_intensity(self):
+        cost = StepCost(instructions=100, memory_accesses=4, input_bytes=1,
+                        output_bytes=1)
+        assert cost.operational_intensity == 25.0
+
+    def test_zero_accesses_returns_instructions(self):
+        cost = StepCost(instructions=50, memory_accesses=0, input_bytes=1,
+                        output_bytes=1)
+        assert cost.operational_intensity == 50
+
+    def test_scaled_preserves_kappa(self):
+        cost = StepCost(instructions=100, memory_accesses=4, input_bytes=10,
+                        output_bytes=20)
+        half = cost.scaled(0.5)
+        assert half.instructions == 50
+        assert half.operational_intensity == cost.operational_intensity
+        assert half.input_bytes == 5
+
+    def test_merged_sums_work(self):
+        a = StepCost(instructions=10, memory_accesses=1, input_bytes=100,
+                     output_bytes=150)
+        b = StepCost(instructions=30, memory_accesses=2, input_bytes=150,
+                     output_bytes=80)
+        merged = StepCost.merged([a, b])
+        assert merged.instructions == 40
+        assert merged.memory_accesses == 3
+        assert merged.input_bytes == 100   # first step's input
+        assert merged.output_bytes == 80   # last step's output
+
+    def test_merged_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StepCost.merged([])
+
+
+class TestCompressionRatios:
+    """Relative compressibility across datasets matches each codec's
+    design (the paper's dataset-selection rationale)."""
+
+    def test_tdic32_prefers_symbol_duplication(self):
+        rovio = get_dataset("rovio").generate(16384, seed=1)
+        stock = get_dataset("stock").generate(16384, seed=1)
+        ratio_rovio = get_codec("tdic32").compress(rovio).compression_ratio
+        ratio_stock = get_codec("tdic32").compress(stock).compression_ratio
+        assert ratio_rovio > ratio_stock
+
+    def test_lz4_prefers_vocabulary_duplication(self):
+        sensor = get_dataset("sensor").generate(16384, seed=1)
+        stock = get_dataset("stock").generate(16384, seed=1)
+        ratio_sensor = get_codec("lz4").compress(sensor).compression_ratio
+        ratio_stock = get_codec("lz4").compress(stock).compression_ratio
+        assert ratio_sensor > ratio_stock
+
+    def test_tcomp32_prefers_narrow_range(self):
+        narrow = get_dataset("micro", dynamic_range=256).generate(8192, seed=1)
+        wide = get_dataset("micro", dynamic_range=1 << 31).generate(8192, seed=1)
+        codec = get_codec("tcomp32")
+        assert (
+            codec.compress(narrow).compression_ratio
+            > codec.compress(wide).compression_ratio
+        )

@@ -1,0 +1,222 @@
+"""Cost model (Eqs 4-7): per-task estimates and plan evaluation."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, calibrate_curves
+from repro.core.plan import SchedulingPlan
+from repro.errors import ConfigurationError
+from repro.simcore.hardware import CoreType
+
+BIG, LITTLE = 4, 0
+
+
+@pytest.fixture(scope="module")
+def model(tcomp32_rovio_context):
+    context = tcomp32_rovio_context
+    return context.cost_model(context.fine_graph)
+
+
+# conftest fixtures are function-scoped per module here; re-export.
+@pytest.fixture(scope="module")
+def tcomp32_rovio_context(request):
+    from repro.core.baselines import WorkloadContext
+    from repro.core.profiler import profile_workload
+    from repro.compression import get_codec
+    from repro.datasets import get_dataset
+    from repro.simcore.boards import rk3399
+
+    profile = profile_workload(
+        get_codec("tcomp32"), get_dataset("rovio"), 8192, batches=4
+    )
+    return WorkloadContext.build(rk3399(), profile, 26.0)
+
+
+class TestCalibration:
+    def test_curves_for_both_core_types(self):
+        from repro.simcore.boards import rk3399
+
+        curves = calibrate_curves(rk3399())
+        assert CoreType.BIG in curves.eta
+        assert CoreType.LITTLE in curves.zeta
+
+    def test_invalid_constraint_rejected(self, tcomp32_rovio_context):
+        context = tcomp32_rovio_context
+        with pytest.raises(ConfigurationError):
+            CostModel(
+                board=context.board,
+                graph=context.fine_graph,
+                profile=context.profile,
+                curves=context.curves,
+                communication=context.communication,
+                latency_constraint_us_per_byte=0.0,
+            )
+
+    def test_invalid_guard_band_rejected(self, tcomp32_rovio_context):
+        context = tcomp32_rovio_context
+        with pytest.raises(ConfigurationError):
+            context.cost_model(context.fine_graph, guard_band=1.5)
+
+
+class TestComputeLatency:
+    def test_eq6_linear_in_instructions(self, model):
+        """Twice the replicas, half the per-replica latency (mod the
+        replication overhead)."""
+        single = model.compute_latency(0, BIG, replicas=1)
+        double = model.compute_latency(0, BIG, replicas=2)
+        # Latency overhead per extra replica is 7% (energy's is 27%).
+        assert double == pytest.approx(single / 2 * 1.07, rel=0.01)
+
+    def test_big_faster_for_high_kappa(self, model):
+        assert model.compute_latency(0, BIG) < model.compute_latency(0, LITTLE)
+
+    def test_latency_scale_applies(self, model):
+        base = model.compute_latency(0, BIG)
+        model.latency_scale[0] = 2.0
+        try:
+            assert model.compute_latency(0, BIG) == pytest.approx(2 * base)
+        finally:
+            model.latency_scale.clear()
+
+    def test_anchor_t0_on_big(self, model):
+        # Paper Table IV: t0 ~15 µs/B on a big core.
+        assert model.compute_latency(0, BIG) == pytest.approx(15.0, rel=0.12)
+
+    def test_anchor_t1_on_little(self, model):
+        # Paper Table IV: t1 ~21.7 µs/B on a little core.
+        assert model.compute_latency(1, LITTLE) == pytest.approx(
+            21.7, rel=0.12
+        )
+
+
+class TestTaskEnergy:
+    def test_eq4_energy_is_instructions_over_zeta(self, model):
+        """e = η·l/ζ reduces to instructions/ζ."""
+        kappa = model.stage_kappa(1)
+        expected = (
+            model.stage_instructions(1)
+            / model._zeta(kappa, LITTLE)
+            / model.profile.batch_size_bytes
+        )
+        assert model.task_energy(1, LITTLE) == pytest.approx(expected)
+
+    def test_t1_cheaper_on_little(self, model):
+        assert model.task_energy(1, LITTLE) < model.task_energy(1, BIG)
+
+    def test_replication_energy_overhead(self, model):
+        # Each of two replicas does half the work at a 27 % premium.
+        single = model.task_energy(1, LITTLE, replicas=1)
+        double = model.task_energy(1, LITTLE, replicas=2)
+        assert double == pytest.approx(single * 1.27 / 2, rel=0.01)
+
+
+class TestCommunicationLatency:
+    def test_first_stage_free(self, model):
+        assert model.communication_latency(0, BIG, (), 1) == 0.0
+
+    def test_colocated_cluster_cheaper_than_cross(self, model):
+        same_cluster = model.communication_latency(1, 1, (LITTLE,), 1)
+        cross = model.communication_latency(1, 1, (BIG,), 1)
+        assert same_cluster < cross
+
+    def test_c2_dearer_than_c1(self, model):
+        big_to_little = model.communication_latency(1, LITTLE, (BIG,), 1)
+        little_to_big = model.communication_latency(1, BIG, (LITTLE,), 1)
+        assert little_to_big > big_to_little
+
+    def test_communication_blind_model_sees_zero(self, tcomp32_rovio_context):
+        context = tcomp32_rovio_context
+        blind = context.cost_model(
+            context.fine_graph, communication_aware=False
+        )
+        assert blind.communication_latency(1, LITTLE, (BIG,), 1) == 0.0
+
+    def test_more_consumers_less_volume_each(self, model):
+        one = model.communication_latency(1, LITTLE, (BIG,), 1)
+        two = model.communication_latency(1, LITTLE, (BIG,), 2)
+        assert two < one
+
+
+class TestEvaluate:
+    def plan(self, context, assignments):
+        return SchedulingPlan(graph=context.fine_graph, assignments=assignments)
+
+    def test_paper_optimal_plan(self, tcomp32_rovio_context, model):
+        """t0@big + t1@little: the paper's Table IV 'right place'."""
+        estimate = model.evaluate(
+            self.plan(tcomp32_rovio_context, ((BIG,), (LITTLE,)))
+        )
+        assert estimate.feasible
+        assert estimate.latency_us_per_byte == pytest.approx(24.9, rel=0.05)
+        assert estimate.energy_uj_per_byte == pytest.approx(0.40, rel=0.08)
+
+    def test_all_little_single_replica_infeasible(
+        self, tcomp32_rovio_context, model
+    ):
+        estimate = model.evaluate(
+            self.plan(tcomp32_rovio_context, ((LITTLE,), (1,)))
+        )
+        assert not estimate.feasible
+        assert "exceeds budget" in estimate.infeasibility_reason
+
+    def test_colocation_serializes(self, tcomp32_rovio_context, model):
+        apart = model.evaluate(self.plan(tcomp32_rovio_context, ((4,), (5,))))
+        together = model.evaluate(
+            self.plan(tcomp32_rovio_context, ((4,), (4,)))
+        )
+        assert (
+            together.latency_us_per_byte > apart.latency_us_per_byte
+        )
+
+    def test_energy_sums_over_tasks(self, tcomp32_rovio_context, model):
+        estimate = model.evaluate(
+            self.plan(tcomp32_rovio_context, ((BIG,), (LITTLE,)))
+        )
+        assert estimate.energy_uj_per_byte == pytest.approx(
+            sum(t.energy_uj_per_byte for t in estimate.task_estimates)
+        )
+
+    def test_bottleneck_identifies_slowest(self, tcomp32_rovio_context, model):
+        estimate = model.evaluate(
+            self.plan(tcomp32_rovio_context, ((BIG,), (LITTLE,)))
+        )
+        bottleneck = estimate.bottleneck()
+        assert bottleneck.l_us_per_byte == max(
+            t.l_us_per_byte for t in estimate.task_estimates
+        )
+
+    def test_core_load_tracked(self, tcomp32_rovio_context, model):
+        estimate = model.evaluate(
+            self.plan(tcomp32_rovio_context, ((BIG,), (BIG,)))
+        )
+        assert estimate.core_load_us_per_byte[BIG] == pytest.approx(
+            sum(t.l_comp_us_per_byte for t in estimate.task_estimates)
+        )
+
+    def test_foreign_graph_rejected(self, model):
+        from repro.core.task import TaskGraph
+
+        foreign = TaskGraph.coarse("tcomp32", ("s0", "s1", "s2"))
+        with pytest.raises(ConfigurationError):
+            model.evaluate(
+                SchedulingPlan(graph=foreign, assignments=((0,),))
+            )
+
+
+class TestFrequencyAwarePlanning:
+    def test_lower_frequency_higher_latency(self, tcomp32_rovio_context):
+        context = tcomp32_rovio_context
+        slow = context.cost_model(
+            context.fine_graph, frequency_map={BIG: 600.0}
+        )
+        fast = context.cost_model(context.fine_graph)
+        assert slow.compute_latency(0, BIG) > fast.compute_latency(0, BIG)
+
+    def test_unmapped_cores_at_max(self, tcomp32_rovio_context):
+        context = tcomp32_rovio_context
+        partial = context.cost_model(
+            context.fine_graph, frequency_map={BIG: 600.0}
+        )
+        full = context.cost_model(context.fine_graph)
+        assert partial.compute_latency(1, LITTLE) == pytest.approx(
+            full.compute_latency(1, LITTLE)
+        )

@@ -1,0 +1,134 @@
+"""DVFS governors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcore.boards import rk3399
+from repro.simcore.dvfs import (
+    ConservativeGovernor,
+    OndemandGovernor,
+    StaticGovernor,
+    get_governor,
+)
+
+
+@pytest.fixture
+def board():
+    return rk3399()
+
+
+class TestRegistry:
+    def test_names_resolve(self, board):
+        for name in ("default", "conservative", "ondemand"):
+            assert get_governor(name, board).name == name
+
+    def test_unknown_rejected(self, board):
+        with pytest.raises(ConfigurationError):
+            get_governor("powersave", board)
+
+
+class TestStaticGovernor:
+    def test_defaults_to_max(self, board):
+        governor = StaticGovernor(board)
+        for core in board.cores:
+            assert governor.frequency_of(core.core_id) == core.max_frequency_mhz
+
+    def test_fixed_map_applied(self, board):
+        governor = StaticGovernor(board, {0: 600.0, 4: 1008.0})
+        assert governor.frequency_of(0) == 600.0
+        assert governor.frequency_of(4) == 1008.0
+        assert governor.frequency_of(1) == 1416.0
+
+    def test_never_changes(self, board):
+        governor = StaticGovernor(board, {0: 600.0})
+        governor.observe({0: 1.0, 4: 0.0})
+        assert governor.frequency_of(0) == 600.0
+        assert governor.switch_count == 0
+
+    def test_invalid_level_rejected(self, board):
+        with pytest.raises(ConfigurationError):
+            StaticGovernor(board, {0: 777.0})
+
+    def test_unknown_core_rejected(self, board):
+        with pytest.raises(ConfigurationError):
+            StaticGovernor(board, {99: 600.0})
+
+
+class TestConservativeGovernor:
+    def test_steps_down_when_idle(self, board):
+        governor = ConservativeGovernor(board)
+        governor.observe({0: 0.1})
+        assert governor.frequency_of(0) == 1200.0  # one level down
+
+    def test_steps_up_when_busy(self, board):
+        governor = ConservativeGovernor(board)
+        governor.observe({0: 0.1})       # 1416 -> 1200
+        governor.observe({0: 0.95})      # back up
+        assert governor.frequency_of(0) == 1416.0
+
+    def test_holds_inside_band(self, board):
+        governor = ConservativeGovernor(board)
+        governor.observe({0: 0.75})
+        assert governor.frequency_of(0) == 1416.0
+
+    def test_cannot_step_past_extremes(self, board):
+        governor = ConservativeGovernor(board)
+        for _ in range(20):
+            governor.observe({0: 0.0})
+        assert governor.frequency_of(0) == 408.0
+        for _ in range(20):
+            governor.observe({0: 1.0})
+        assert governor.frequency_of(0) == 1416.0
+
+    def test_one_level_at_a_time(self, board):
+        governor = ConservativeGovernor(board)
+        governor.observe({4: 0.0})
+        assert governor.frequency_of(4) == 1608.0  # single step from 1800
+
+    def test_invalid_thresholds(self, board):
+        with pytest.raises(ConfigurationError):
+            ConservativeGovernor(board, up_threshold=0.3, down_threshold=0.5)
+
+
+class TestOndemandGovernor:
+    def test_jumps_to_max_when_hot(self, board):
+        governor = OndemandGovernor(board)
+        governor.observe({0: 0.3})  # drop first
+        governor.observe({0: 0.95})
+        assert governor.frequency_of(0) == 1416.0
+
+    def test_drops_proportionally(self, board):
+        governor = OndemandGovernor(board)
+        governor.observe({0: 0.2})
+        # needed = 1416 * 0.2/0.8 = 354 -> lowest level covering it.
+        assert governor.frequency_of(0) == 408.0
+
+    def test_mid_utilization_intermediate_level(self, board):
+        governor = OndemandGovernor(board)
+        governor.observe({0: 0.5})
+        # needed = 1416 * 0.5/0.8 = 885 -> 1008.
+        assert governor.frequency_of(0) == 1008.0
+
+    def test_oscillation_factor_higher_than_conservative(self, board):
+        assert (
+            OndemandGovernor(board).oscillation_factor
+            > ConservativeGovernor(board).oscillation_factor
+        )
+
+    def test_invalid_threshold(self, board):
+        with pytest.raises(ConfigurationError):
+            OndemandGovernor(board, up_threshold=0.0)
+
+
+class TestTransitionCost:
+    def test_scales_with_changes(self, board):
+        governor = StaticGovernor(board)
+        stall1, energy1 = governor.transition_cost(1)
+        stall3, energy3 = governor.transition_cost(3)
+        assert stall3 == pytest.approx(3 * stall1)
+        assert energy3 == pytest.approx(3 * energy1)
+
+    def test_switch_count_accumulates(self, board):
+        governor = ConservativeGovernor(board)
+        governor.observe({core.core_id: 0.0 for core in board.cores})
+        assert governor.switch_count == len(board.cores)

@@ -1,0 +1,149 @@
+"""Stress and property tests for the discrete-event engine."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore.engine import Simulator, Store
+
+
+class TestEventOrderingProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_timeouts_fire_in_time_order(self, delays):
+        simulator = Simulator()
+        fired = []
+        for delay in delays:
+            event = simulator.timeout(delay, delay)
+            event.callbacks.append(lambda e: fired.append(e.value))
+        simulator.run()
+        assert fired == sorted(fired)
+        assert simulator.now == max(delays)
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=20, deadline=None)
+    def test_chained_processes_accumulate_time(self, steps):
+        simulator = Simulator()
+
+        def worker():
+            for _ in range(steps):
+                yield simulator.timeout(1.0)
+            return simulator.now
+
+        process = simulator.process(worker())
+        simulator.run()
+        assert process.value == pytest.approx(float(steps))
+
+
+class TestManyProcesses:
+    def test_thousand_interleaved_tickers(self):
+        simulator = Simulator()
+        counters = [0] * 1000
+
+        def ticker(index):
+            for _ in range(5):
+                yield simulator.timeout(1.0 + index * 1e-6)
+                counters[index] += 1
+
+        for index in range(1000):
+            simulator.process(ticker(index))
+        simulator.run()
+        assert all(count == 5 for count in counters)
+
+    def test_producer_consumer_chain(self):
+        """A 10-stage store relay delivers every item in order."""
+        simulator = Simulator()
+        stages = [Store(simulator, capacity=2) for _ in range(10)]
+        received = []
+
+        def relay(upstream, downstream):
+            while True:
+                item = yield upstream.get()
+                if item is None:
+                    yield downstream.put(None)
+                    return
+                yield simulator.timeout(0.1)
+                yield downstream.put(item)
+
+        def sink(upstream):
+            while True:
+                item = yield upstream.get()
+                if item is None:
+                    return
+                received.append(item)
+
+        def source(downstream):
+            for item in range(50):
+                yield downstream.put(item)
+            yield downstream.put(None)
+
+        for index in range(9):
+            simulator.process(relay(stages[index], stages[index + 1]))
+        simulator.process(sink(stages[9]))
+        simulator.process(source(stages[0]))
+        simulator.run()
+        assert received == list(range(50))
+
+    def test_store_round_robin_consumers(self):
+        """Two consumers on one store drain it without loss or dupes."""
+        simulator = Simulator()
+        store = Store(simulator)
+        seen = []
+
+        def consumer(name):
+            for _ in range(25):
+                item = yield store.get()
+                seen.append(item)
+
+        for item in range(50):
+            store.put(item)
+        simulator.process(consumer("a"))
+        simulator.process(consumer("b"))
+        simulator.run()
+        assert sorted(seen) == list(range(50))
+
+    def test_heap_never_corrupts_under_mixed_load(self):
+        simulator = Simulator()
+        log = []
+
+        def jittery(period, count, name):
+            for index in range(count):
+                yield simulator.timeout(period)
+                log.append((simulator.now, name, index))
+
+        simulator.process(jittery(0.7, 30, "x"))
+        simulator.process(jittery(1.3, 20, "y"))
+        simulator.process(jittery(3.1, 10, "z"))
+        simulator.run()
+        times = [entry[0] for entry in log]
+        assert times == sorted(times)
+        assert len(log) == 60
+
+
+class TestRunUntil:
+    def test_partial_run_resumable(self):
+        simulator = Simulator()
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            simulator.timeout(delay).callbacks.append(
+                lambda e, d=delay: fired.append(d)
+            )
+        simulator.run(until=1.5)
+        assert fired == [1.0]
+        simulator.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_until_exact_boundary_fires_event(self):
+        simulator = Simulator()
+        fired = []
+        simulator.timeout(2.0).callbacks.append(lambda e: fired.append(1))
+        simulator.run(until=2.0)
+        assert fired == [1]

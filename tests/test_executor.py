@@ -1,0 +1,344 @@
+"""Pipeline executor semantics on the simulated board."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import SchedulingPlan
+from repro.errors import ConfigurationError
+from repro.runtime.executor import (
+    ExecutionConfig,
+    MechanismDynamics,
+    PipelineExecutor,
+)
+from repro.simcore.boards import rk3399
+
+BIG, BIG2, LITTLE = 4, 5, 0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.core.baselines import WorkloadContext
+    from repro.core.profiler import profile_workload
+    from repro.compression import get_codec
+    from repro.datasets import get_dataset
+
+    board = rk3399()
+    profile = profile_workload(
+        get_codec("tcomp32"), get_dataset("rovio"), 8192, batches=5
+    )
+    context = WorkloadContext.build(board, profile, 26.0)
+    return board, profile, context
+
+
+def make_executor(board, **overrides):
+    options = {
+        "latency_constraint_us_per_byte": 26.0,
+        "repetitions": 3,
+        "batches_per_repetition": 5,
+        "warmup_batches": 2,
+        "seed": 1,
+    }
+    options.update(overrides)
+    return PipelineExecutor(board, ExecutionConfig(**options))
+
+
+def paper_plan(context):
+    return SchedulingPlan(
+        graph=context.fine_graph, assignments=((BIG,), (LITTLE,))
+    )
+
+
+class TestConfigValidation:
+    def test_invalid_constraint(self, setup):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(latency_constraint_us_per_byte=0)
+
+    def test_warmup_must_leave_batches(self, setup):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(
+                latency_constraint_us_per_byte=26.0,
+                batches_per_repetition=2,
+                warmup_batches=2,
+            )
+
+    def test_zero_repetitions_rejected(self, setup):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(
+                latency_constraint_us_per_byte=26.0, repetitions=0
+            )
+
+
+class TestBasicExecution:
+    def test_all_batches_complete(self, setup):
+        board, profile, context = setup
+        executor = make_executor(board)
+        result = executor.run(
+            paper_plan(context),
+            profile.per_batch_step_costs,
+            profile.batch_size_bytes,
+        )
+        assert len(result.repetitions) == 3
+        for repetition in result.repetitions:
+            assert len(repetition.batches) == 5
+
+    def test_deterministic_given_seed(self, setup):
+        board, profile, context = setup
+        results = [
+            make_executor(board).run(
+                paper_plan(context),
+                profile.per_batch_step_costs,
+                profile.batch_size_bytes,
+            )
+            for _ in range(2)
+        ]
+        assert results[0].mean_energy_uj_per_byte == (
+            results[1].mean_energy_uj_per_byte
+        )
+        assert results[0].mean_latency_us_per_byte == (
+            results[1].mean_latency_us_per_byte
+        )
+
+    def test_measured_latency_matches_model(self, setup):
+        """Steady-state period ≈ the cost model's L_est (Table V)."""
+        board, profile, context = setup
+        model = context.cost_model(context.fine_graph)
+        estimate = model.evaluate(paper_plan(context))
+        executor = make_executor(board, noise_sigma=0.0)
+        result = executor.run(
+            paper_plan(context),
+            profile.per_batch_step_costs,
+            profile.batch_size_bytes,
+        )
+        assert result.mean_latency_us_per_byte == pytest.approx(
+            estimate.latency_us_per_byte, rel=0.05
+        )
+
+    def test_pipeline_fill_batch_slower(self, setup):
+        board, profile, context = setup
+        executor = make_executor(board, noise_sigma=0.0)
+        result = executor.run(
+            paper_plan(context),
+            profile.per_batch_step_costs,
+            profile.batch_size_bytes,
+        )
+        batches = result.repetitions[0].batches
+        # Batch 0 crosses the whole pipeline; later ones are periods.
+        assert batches[0].latency_us_per_byte > batches[2].latency_us_per_byte
+
+    def test_plan_provider_called_per_repetition(self, setup):
+        board, profile, context = setup
+        seen = []
+
+        def provider(repetition, rng):
+            seen.append(repetition)
+            return paper_plan(context)
+
+        make_executor(board).run(
+            provider, profile.per_batch_step_costs, profile.batch_size_bytes
+        )
+        assert seen == [0, 1, 2]
+
+
+class TestCapacityEffects:
+    def test_colocation_serializes(self, setup):
+        board, profile, context = setup
+        apart = SchedulingPlan(
+            graph=context.fine_graph, assignments=((BIG,), (BIG2,))
+        )
+        together = SchedulingPlan(
+            graph=context.fine_graph, assignments=((BIG,), (BIG,))
+        )
+        executor = make_executor(board, noise_sigma=0.0)
+        run = lambda plan: executor.run(
+            plan, profile.per_batch_step_costs, profile.batch_size_bytes
+        ).mean_latency_us_per_byte
+        assert run(together) > run(apart) * 1.5
+
+    def test_replication_splits_work(self, setup):
+        board, profile, context = setup
+        single = SchedulingPlan(
+            graph=context.fine_graph, assignments=((BIG,), (0,))
+        )
+        replicated = SchedulingPlan(
+            graph=context.fine_graph, assignments=((BIG,), (0, 1))
+        )
+        executor = make_executor(board, noise_sigma=0.0)
+        run = lambda plan: executor.run(
+            plan, profile.per_batch_step_costs, profile.batch_size_bytes
+        ).mean_latency_us_per_byte
+        assert run(replicated) < run(single)
+
+
+class TestCommunicationEffects:
+    def test_cross_cluster_direction_asymmetry(self, setup):
+        """little->big consumers wait longer than big->little (c2 > c1).
+
+        Synthetic costs make the producer nearly free, so the measured
+        period isolates consumer compute + transfer latency.
+        """
+        from repro.compression.base import StepCost
+
+        board, profile, context = setup
+        batch = profile.batch_size_bytes
+        synthetic = {
+            "s0": StepCost(instructions=100, memory_accesses=10,
+                           input_bytes=batch, output_bytes=batch),
+            "s1": StepCost(instructions=100, memory_accesses=10,
+                           input_bytes=batch, output_bytes=batch),
+            "s2": StepCost(instructions=batch * 20, memory_accesses=batch,
+                           input_bytes=batch, output_bytes=batch // 2),
+        }
+        executor = make_executor(board, noise_sigma=0.0)
+
+        def period(producer, consumer):
+            plan = SchedulingPlan(
+                graph=context.fine_graph,
+                assignments=((producer,), (consumer,)),
+            )
+            return executor.run(
+                plan, [synthetic] * 5, batch
+            ).mean_latency_us_per_byte
+
+        intra = period(BIG, BIG2)
+        big_to_little_extra = period(BIG, LITTLE) - period(LITTLE, LITTLE)
+        little_to_big_extra = period(LITTLE, BIG) - period(BIG2, BIG)
+        assert little_to_big_extra > big_to_little_extra > 0
+        assert period(LITTLE, BIG) > intra
+
+
+class TestEnergyAccounting:
+    def test_violating_plan_pays_overload_penalty(self, setup):
+        board, profile, context = setup
+        violating = SchedulingPlan(
+            graph=context.fine_graph, assignments=((LITTLE,), (1,))
+        )
+        with_penalty = make_executor(board).run(
+            violating, profile.per_batch_step_costs, profile.batch_size_bytes
+        )
+        without_penalty = make_executor(board, overload_penalty=0.0).run(
+            violating, profile.per_batch_step_costs, profile.batch_size_bytes
+        )
+        assert with_penalty.clcv == 1.0
+        assert (
+            with_penalty.mean_energy_uj_per_byte
+            > without_penalty.mean_energy_uj_per_byte
+        )
+
+    def test_feasible_plan_pays_no_penalty(self, setup):
+        board, profile, context = setup
+        plan = paper_plan(context)
+        with_penalty = make_executor(board).run(
+            plan, profile.per_batch_step_costs, profile.batch_size_bytes
+        )
+        without_penalty = make_executor(board, overload_penalty=0.0).run(
+            plan, profile.per_batch_step_costs, profile.batch_size_bytes
+        )
+        assert with_penalty.mean_energy_uj_per_byte == pytest.approx(
+            without_penalty.mean_energy_uj_per_byte
+        )
+
+    def test_os_dynamics_cost_more(self, setup):
+        board, profile, context = setup
+        plan = paper_plan(context)
+        executor = make_executor(board)
+        quiet = executor.run(
+            plan, profile.per_batch_step_costs, profile.batch_size_bytes
+        )
+        noisy = executor.run(
+            plan,
+            profile.per_batch_step_costs,
+            profile.batch_size_bytes,
+            dynamics=MechanismDynamics(
+                context_switches_per_kb=58.6,
+                migration_rate_per_batch=0.3,
+                latency_jitter_sigma=0.02,
+            ),
+        )
+        assert (
+            noisy.mean_energy_uj_per_byte > quiet.mean_energy_uj_per_byte
+        )
+        assert (
+            noisy.mean_latency_us_per_byte > quiet.mean_latency_us_per_byte
+        )
+
+    def test_energy_scale_matches_model(self, setup):
+        board, profile, context = setup
+        model = context.cost_model(context.fine_graph)
+        estimate = model.evaluate(paper_plan(context))
+        result = make_executor(board, noise_sigma=0.0).run(
+            paper_plan(context),
+            profile.per_batch_step_costs,
+            profile.batch_size_bytes,
+        )
+        # Measured >= modelled (static floor, message energy), within 15%.
+        assert result.mean_energy_uj_per_byte >= estimate.energy_uj_per_byte
+        assert result.mean_energy_uj_per_byte == pytest.approx(
+            estimate.energy_uj_per_byte, rel=0.15
+        )
+
+
+class TestSharedState:
+    def test_shared_state_slows_and_burns(self, setup):
+        board, profile, context = setup
+        # Two lock-contended replicas form the pipeline bottleneck.
+        plan = SchedulingPlan(
+            graph=context.fine_graph, assignments=((BIG,), (0, 1))
+        )
+        shared = make_executor(board, shared_state=True).run(
+            plan,
+            profile.per_batch_step_costs,
+            profile.batch_size_bytes,
+            shared_state_stages={1},
+        )
+        private = make_executor(board, shared_state=False).run(
+            plan,
+            profile.per_batch_step_costs,
+            profile.batch_size_bytes,
+            shared_state_stages={1},
+        )
+        assert (
+            shared.mean_latency_us_per_byte
+            > private.mean_latency_us_per_byte
+        )
+        assert (
+            shared.mean_energy_uj_per_byte > private.mean_energy_uj_per_byte
+        )
+
+
+class TestGovernors:
+    def test_static_frequency_map_slows_execution(self, setup):
+        board, profile, context = setup
+        plan = paper_plan(context)
+        fast = make_executor(board, noise_sigma=0.0).run(
+            plan, profile.per_batch_step_costs, profile.batch_size_bytes
+        )
+        slow = make_executor(
+            board,
+            noise_sigma=0.0,
+            frequency_map={BIG: 600.0, BIG2: 600.0, 0: 600.0, 1: 600.0,
+                           2: 600.0, 3: 600.0},
+        ).run(plan, profile.per_batch_step_costs, profile.batch_size_bytes)
+        assert (
+            slow.mean_latency_us_per_byte > fast.mean_latency_us_per_byte
+        )
+
+    def test_conservative_governor_steps_down_idle_cores(self, setup):
+        board, profile, context = setup
+        plan = paper_plan(context)
+        executor = make_executor(
+            board,
+            governor="conservative",
+            repetitions=1,
+            batches_per_repetition=10,
+            warmup_batches=4,
+        )
+        result = executor.run(
+            plan, profile.per_batch_step_costs * 2, profile.batch_size_bytes
+        )
+        default = make_executor(
+            board, repetitions=1, batches_per_repetition=10, warmup_batches=4
+        ).run(plan, profile.per_batch_step_costs * 2, profile.batch_size_bytes)
+        assert (
+            result.mean_energy_uj_per_byte
+            < default.mean_energy_uj_per_byte
+        )

@@ -1,0 +1,87 @@
+"""File-backed trace datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import FileDataset, get_dataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "capture.bin"
+    payload = get_dataset("rovio").generate(4096, seed=9)
+    path.write_bytes(payload)
+    return path, payload
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            FileDataset(str(tmp_path / "nope.bin"))
+
+    def test_too_small_file(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"ab")
+        with pytest.raises(DatasetError):
+            FileDataset(str(path), tuple_bytes=16)
+
+    def test_invalid_tuple_bytes(self, trace_file):
+        path, _ = trace_file
+        with pytest.raises(DatasetError):
+            FileDataset(str(path), tuple_bytes=0)
+
+
+class TestReading:
+    def test_zero_bytes(self, trace_file):
+        path, _ = trace_file
+        assert FileDataset(str(path)).generate(0) == b""
+
+    def test_content_comes_from_file(self, trace_file):
+        path, payload = trace_file
+        dataset = FileDataset(str(path), tuple_bytes=16)
+        data = dataset.generate(1024, seed=0)
+        assert len(data) == 1024
+        # Every tuple of the output exists somewhere in the capture.
+        ring = payload + payload
+        for offset in range(0, 1024, 16):
+            assert data[offset:offset + 16] in ring
+
+    def test_seed_controls_phase(self, trace_file):
+        path, _ = trace_file
+        dataset = FileDataset(str(path), tuple_bytes=16)
+        assert dataset.generate(256, seed=1) != dataset.generate(256, seed=2)
+
+    def test_wraps_when_repeat(self, trace_file):
+        path, payload = trace_file
+        dataset = FileDataset(str(path), tuple_bytes=16)
+        data = dataset.generate(len(payload) * 3, seed=0)
+        assert len(data) == len(payload) * 3
+
+    def test_norepeat_rejects_overread(self, trace_file):
+        path, payload = trace_file
+        dataset = FileDataset(str(path), tuple_bytes=16, repeat=False)
+        with pytest.raises(DatasetError):
+            dataset.generate(len(payload) * 2, seed=0)
+
+    def test_trailing_partial_tuple_ignored(self, tmp_path):
+        path = tmp_path / "ragged.bin"
+        path.write_bytes(bytes(100))  # 6 x 16 = 96 usable
+        dataset = FileDataset(str(path), tuple_bytes=16)
+        assert dataset._usable_bytes == 96
+
+
+class TestEndToEnd:
+    def test_cstream_runs_on_a_trace(self, trace_file):
+        from repro import CStream
+
+        path, _ = trace_file
+        framework = CStream(
+            codec="lz4",
+            dataset=FileDataset(str(path), tuple_bytes=16),
+            batch_size=2048,
+            latency_constraint_us_per_byte=26.0,
+            profile_batches=3,
+        )
+        result = framework.run(repetitions=3, batches_per_repetition=4)
+        assert result.mean_energy_uj_per_byte > 0

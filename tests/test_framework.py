@@ -1,0 +1,80 @@
+"""The CStream facade (profile -> decompose -> schedule -> execute)."""
+
+import pytest
+
+from repro import CStream
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return CStream(
+        codec="tcomp32",
+        dataset="rovio",
+        batch_size=8192,
+        latency_constraint_us_per_byte=26.0,
+        profile_batches=4,
+    )
+
+
+class TestConstruction:
+    def test_string_names_resolve(self, framework):
+        assert framework.codec.name == "tcomp32"
+        assert framework.dataset.name == "rovio"
+
+    def test_instances_accepted(self):
+        from repro.compression import Tdic32
+        from repro.datasets import MicroDataset
+
+        framework = CStream(
+            codec=Tdic32(index_bits=10),
+            dataset=MicroDataset(dynamic_range=100),
+            batch_size=4096,
+            latency_constraint_us_per_byte=26.0,
+        )
+        assert framework.codec.index_bits == 10
+        assert framework.dataset.dynamic_range == 100
+
+    def test_default_board_is_rk3399(self, framework):
+        assert "rk3399" in framework.board.name
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            CStream(
+                codec="tcomp32", dataset="rovio", batch_size=0,
+                latency_constraint_us_per_byte=26.0,
+            )
+
+
+class TestWorkflow:
+    def test_profile_cached(self, framework):
+        assert framework.profile() is framework.profile()
+
+    def test_plan_matches_paper(self, framework):
+        schedule = framework.plan()
+        assert schedule.feasible
+        assert framework.context().fine_graph.describe() == (
+            "t0[s0+s1] -> t1[s2]"
+        )
+
+    def test_run_produces_metrics(self, framework):
+        result = framework.run(repetitions=3, batches_per_repetition=4)
+        assert result.clcv == 0.0
+        assert result.mean_energy_uj_per_byte > 0
+
+    def test_run_baseline_mechanism(self, framework):
+        cstream = framework.run(repetitions=3, batches_per_repetition=4)
+        coarse = framework.run(
+            repetitions=3, batches_per_repetition=4, mechanism="CS"
+        )
+        assert (
+            coarse.mean_energy_uj_per_byte > cstream.mean_energy_uj_per_byte
+        )
+
+
+class TestCodecPassthrough:
+    def test_compress_decompress(self, framework):
+        data = framework.dataset.generate(4096, seed=3)
+        payload = framework.compress(data)
+        assert framework.decompress(payload) == data
+        assert len(payload) != len(data)

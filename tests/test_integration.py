@@ -1,0 +1,136 @@
+"""Cross-module invariants: the paper's headline claims end to end."""
+
+import pytest
+
+from repro import CStream
+from repro.bench.harness import WorkloadSpec
+from repro.compression import CODEC_NAMES, get_codec
+from repro.datasets import DATASET_NAMES, get_dataset
+
+
+class TestHeadlineClaims:
+    """The abstract's claims, exercised through the public API."""
+
+    def test_cstream_beats_every_baseline_on_default_workload(
+        self, small_harness, tcomp32_rovio_spec
+    ):
+        cstream = small_harness.run(tcomp32_rovio_spec, "CStream")
+        for mechanism in ("OS", "CS", "RR", "BO", "LO"):
+            baseline = small_harness.run(tcomp32_rovio_spec, mechanism)
+            assert (
+                cstream.mean_energy_uj_per_byte
+                <= baseline.mean_energy_uj_per_byte * 1.02
+            ), mechanism
+
+    def test_cstream_never_violates_constraint(
+        self, small_harness, tcomp32_rovio_spec
+    ):
+        assert small_harness.run(tcomp32_rovio_spec, "CStream").clcv == 0.0
+
+    def test_every_workload_round_trips_through_cstream(self):
+        """The compressed output of every Algorithm-Dataset procedure
+        decodes back to the input."""
+        for codec_name in CODEC_NAMES:
+            for dataset_name in DATASET_NAMES:
+                codec = get_codec(codec_name)
+                data = get_dataset(dataset_name).generate(4096, seed=11)
+                payload = codec.compress(data).payload
+                decoder = get_codec(codec_name)
+                assert decoder.decompress(payload) == data, (
+                    codec_name,
+                    dataset_name,
+                )
+
+
+class TestModelFidelity:
+    def test_estimates_track_measurements(
+        self, small_harness, tcomp32_rovio_spec
+    ):
+        """Table V's claim: the model approximates measurement well."""
+        from repro.core.scheduler import Scheduler
+
+        context = small_harness.context(tcomp32_rovio_spec)
+        model = context.cost_model(context.fine_graph)
+        schedule = Scheduler(model).schedule(best_effort=True)
+        measured = small_harness.run(tcomp32_rovio_spec, "CStream")
+        assert measured.mean_latency_us_per_byte == pytest.approx(
+            schedule.estimate.latency_us_per_byte, rel=0.15
+        )
+        assert measured.mean_energy_uj_per_byte == pytest.approx(
+            schedule.estimate.energy_uj_per_byte, rel=0.25
+        )
+
+
+class TestConstraintSemantics:
+    def test_tighter_constraint_never_cheaper(self):
+        """Tightening L_set can only cost energy (Fig 10's monotonicity)
+        through the public facade."""
+        energies = []
+        for constraint in (14.0, 26.0):
+            framework = CStream(
+                codec="tcomp32",
+                dataset="rovio",
+                batch_size=8192,
+                latency_constraint_us_per_byte=constraint,
+                profile_batches=3,
+            )
+            result = framework.run(repetitions=4, batches_per_repetition=4)
+            assert result.clcv == 0.0
+            energies.append(result.mean_energy_uj_per_byte)
+        assert energies[0] >= energies[1]
+
+    def test_measured_latency_respects_constraint(self):
+        framework = CStream(
+            codec="tdic32",
+            dataset="stock",
+            batch_size=8192,
+            latency_constraint_us_per_byte=26.0,
+            profile_batches=3,
+        )
+        result = framework.run(repetitions=4, batches_per_repetition=4)
+        assert result.mean_latency_us_per_byte <= 26.0
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, tcomp32_rovio_spec):
+        from repro.bench.harness import Harness
+
+        results = []
+        for _ in range(2):
+            harness = Harness(
+                repetitions=3, batches_per_repetition=4, profile_batches=3
+            )
+            results.append(
+                harness.run(tcomp32_rovio_spec, "CStream")
+                .mean_energy_uj_per_byte
+            )
+        assert results[0] == results[1]
+
+    def test_seed_changes_measurements(self, tcomp32_rovio_spec):
+        from repro.bench.harness import Harness
+
+        a = Harness(repetitions=3, batches_per_repetition=4, seed=0,
+                    profile_batches=3)
+        b = Harness(repetitions=3, batches_per_repetition=4, seed=99,
+                    profile_batches=3)
+        assert a.run(tcomp32_rovio_spec, "CStream").mean_latency_us_per_byte != (
+            b.run(tcomp32_rovio_spec, "CStream").mean_latency_us_per_byte
+        )
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import ReproError
+        from repro import errors
+
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError) or obj is ReproError
+
+    def test_catching_base_class_works(self):
+        from repro import ReproError
+        from repro.compression import get_codec
+
+        with pytest.raises(ReproError):
+            get_codec("nonexistent")

@@ -1,0 +1,188 @@
+"""lz4: LZ77-family block compression (Algorithm 5)."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import Lz4
+from repro.errors import CompressionError, CorruptStreamError
+
+
+@pytest.fixture
+def codec():
+    return Lz4()
+
+
+class TestRoundTrip:
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"").payload) == b""
+
+    def test_short_literal_only(self, codec):
+        data = b"hello"
+        assert codec.decompress(codec.compress(data).payload) == data
+
+    def test_long_repetition(self, codec):
+        data = b"abcd" * 500
+        result = codec.compress(data)
+        assert codec.decompress(result.payload) == data
+        assert result.compression_ratio > 10
+
+    def test_single_byte_run(self, codec):
+        """Self-overlapping match (offset 1) — the classic RLE case."""
+        data = b"\x00" * 1000
+        result = codec.compress(data)
+        assert codec.decompress(result.payload) == data
+        assert result.compression_ratio > 20
+
+    def test_overlapping_match_offset_3(self, codec):
+        data = b"xyz" * 300
+        assert codec.decompress(codec.compress(data).payload) == data
+
+    def test_incompressible(self, codec, rng):
+        data = rng.integers(0, 256, 2000, dtype=np.uint8).tobytes()
+        result = codec.compress(data)
+        assert codec.decompress(result.payload) == data
+        assert result.compression_ratio < 1.01
+
+    def test_long_literal_run_extended_length(self, codec, rng):
+        # > 15 literals triggers the extended-length encoding.
+        data = bytes(rng.permutation(256).astype(np.uint8)) * 1
+        assert codec.decompress(codec.compress(data).payload) == data
+
+    def test_very_long_match_extended_length(self, codec):
+        # match length >> 19 exercises 255-chains in the match field.
+        data = b"Q" * 5000
+        assert codec.decompress(codec.compress(data).payload) == data
+
+    def test_text_like_data(self, codec, sensor_data):
+        result = codec.compress(sensor_data)
+        assert codec.decompress(result.payload) == sensor_data
+        assert result.compression_ratio > 1.5
+
+    def test_rovio_batch(self, codec, rovio_data):
+        result = codec.compress(rovio_data)
+        assert codec.decompress(result.payload) == rovio_data
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_bytes(self, data):
+        codec = Lz4()
+        assert codec.decompress(codec.compress(data).payload) == data
+
+    @given(
+        st.binary(min_size=1, max_size=32),
+        st.integers(min_value=2, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_repeated_fragments(self, fragment, repeats):
+        codec = Lz4()
+        data = fragment * repeats
+        assert codec.decompress(codec.compress(data).payload) == data
+
+
+class TestParameters:
+    def test_invalid_index_bits(self):
+        with pytest.raises(CompressionError):
+            Lz4(index_bits=0)
+        with pytest.raises(CompressionError):
+            Lz4(index_bits=25)
+
+    def test_invalid_max_search_length(self):
+        with pytest.raises(CompressionError):
+            Lz4(max_search_length=2)
+
+    def test_max_search_length_splits_matches(self):
+        data = b"Z" * 2000
+        unbounded = Lz4().compress(data)
+        bounded = Lz4(max_search_length=16).compress(data)
+        assert bounded.counters["matches"] > unbounded.counters["matches"]
+        assert Lz4().decompress(bounded.payload) == data
+
+    def test_small_table_still_correct(self):
+        codec = Lz4(index_bits=4)
+        data = b"the quick brown fox " * 50
+        assert codec.decompress(codec.compress(data).payload) == data
+
+
+class TestCounters:
+    def test_no_matches_in_unique_data(self, codec, rng):
+        data = bytes(rng.permutation(200).astype(np.uint8))
+        result = codec.compress(data)
+        assert result.counters["matches"] == 0
+        assert result.counters["matched_fraction"] == 0.0
+
+    def test_matched_fraction_high_for_runs(self, codec):
+        result = codec.compress(b"ab" * 1000)
+        assert result.counters["matched_fraction"] > 0.95
+
+    def test_literals_plus_matches_cover_input(self, codec, rovio_data):
+        result = codec.compress(rovio_data)
+        assert (
+            result.counters["matched_bytes"]
+            + result.counters["literal_bytes"]
+            == len(rovio_data)
+        )
+
+    def test_probe_count_bounded_by_input(self, codec, rovio_data):
+        result = codec.compress(rovio_data)
+        assert 0 < result.counters["probes"] <= len(rovio_data)
+
+
+class TestCostModel:
+    def test_five_steps(self, codec):
+        assert codec.step_ids() == ("s0", "s1", "s2", "s3", "s4")
+        assert codec.stateful
+
+    def test_s2_memory_bound(self, codec, stock_data):
+        costs = codec.compress(stock_data).step_costs
+        assert costs["s2"].operational_intensity < 30
+
+    def test_s3_cost_grows_with_matching(self, codec):
+        unique = Lz4().compress(bytes(range(256)) * 1)
+        matched = Lz4().compress(b"abcdefgh" * 100)
+        per_byte_unique = unique.step_costs["s3"].instructions / 256
+        per_byte_matched = matched.step_costs["s3"].instructions / 800
+        assert per_byte_matched > per_byte_unique
+
+    def test_s4_cost_tracks_output(self, codec, rng):
+        compressible = Lz4().compress(b"m" * 1000)
+        incompressible = Lz4().compress(
+            rng.integers(0, 256, 1000, dtype=np.uint8).tobytes()
+        )
+        assert (
+            compressible.step_costs["s4"].instructions
+            < incompressible.step_costs["s4"].instructions
+        )
+
+
+class TestCorruption:
+    def test_truncated_header(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(b"ab")
+
+    def test_truncated_literals(self, codec):
+        payload = codec.compress(b"hello world, hello world").payload
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(payload[:8])
+
+    def test_header_length_mismatch(self, codec):
+        payload = bytearray(codec.compress(b"some data here").payload)
+        struct.pack_into("<I", payload, 0, 5)  # promise fewer bytes
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(bytes(payload))
+
+    def test_invalid_offset_zero(self, codec):
+        # Hand-craft: 4 literals, then a match with offset 0.
+        body = bytes([0x40]) + b"abcd" + b"\x00\x00"
+        payload = struct.pack("<I", 10) + body
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(payload)
+
+    def test_offset_beyond_output(self, codec):
+        body = bytes([0x10]) + b"a" + b"\x05\x00"
+        payload = struct.pack("<I", 6) + body
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(payload)

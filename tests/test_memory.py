@@ -1,0 +1,133 @@
+"""Cache-aware roofline derivation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcore.memory import (
+    CacheHierarchy,
+    CoreMicroarchitecture,
+    derive_roofline,
+    instructions_per_microsecond,
+)
+
+
+def little_core():
+    """An A53-flavoured in-order core."""
+    return CoreMicroarchitecture(
+        frequency_mhz=1416.0, peak_ipc=2.0, in_order=True
+    )
+
+
+def big_core():
+    """An A72-flavoured out-of-order core."""
+    return CoreMicroarchitecture(
+        frequency_mhz=1800.0,
+        peak_ipc=3.0,
+        in_order=False,
+        hierarchy=CacheHierarchy(l2_kb=1024.0),
+    )
+
+
+class TestValidation:
+    def test_cache_sizes_positive(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(l1d_kb=0)
+
+    def test_costs_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(l1_cycles=30.0, l2_cycles=21.0)
+
+    def test_core_parameters_positive(self):
+        with pytest.raises(ConfigurationError):
+            CoreMicroarchitecture(frequency_mhz=0, peak_ipc=1, in_order=True)
+
+    def test_kappa_positive(self):
+        with pytest.raises(ValueError):
+            instructions_per_microsecond(little_core(), 0.0)
+
+
+class TestModelShape:
+    def test_memory_bound_at_low_kappa(self):
+        core = big_core()
+        low = instructions_per_microsecond(core, 5.0)
+        issue_bound = core.peak_ipc * core.frequency_mhz
+        assert low < issue_bound / 10
+
+    def test_issue_bound_at_high_kappa(self):
+        core = big_core()
+        assert instructions_per_microsecond(core, 450.0) == pytest.approx(
+            core.peak_ipc * core.frequency_mhz
+        )
+
+    def test_monotone_for_out_of_order(self):
+        core = big_core()
+        values = [
+            instructions_per_microsecond(core, k) for k in range(5, 480, 5)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_in_order_stall_band(self):
+        """The A53's defining feature: η dips in a mid-κ band."""
+        core = little_core()
+        before = instructions_per_microsecond(core, 45.0)
+        inside = instructions_per_microsecond(core, 68.0)
+        after = instructions_per_microsecond(core, 200.0)
+        assert inside < before or inside < after
+
+    def test_out_of_order_has_no_stall_band(self):
+        in_order = little_core()
+        out_of_order = CoreMicroarchitecture(
+            frequency_mhz=1416.0, peak_ipc=2.0, in_order=False
+        )
+        for kappa in (50.0, 60.0, 68.0):
+            assert instructions_per_microsecond(
+                out_of_order, kappa
+            ) >= instructions_per_microsecond(in_order, kappa)
+
+    def test_bigger_core_faster_everywhere(self):
+        for kappa in (10.0, 60.0, 150.0, 400.0):
+            assert instructions_per_microsecond(
+                big_core(), kappa
+            ) > instructions_per_microsecond(little_core(), kappa) * 0.99
+
+    def test_faster_dram_helps_streaming_code(self):
+        slow = CoreMicroarchitecture(
+            frequency_mhz=1416.0, peak_ipc=2.0, in_order=True,
+            hierarchy=CacheHierarchy(dram_cycles=260.0),
+        )
+        fast = little_core()
+        assert instructions_per_microsecond(
+            fast, 5.0
+        ) > instructions_per_microsecond(slow, 5.0)
+
+
+class TestDeriveRoofline:
+    def test_four_segments_fitted(self):
+        fit = derive_roofline(big_core())
+        assert fit.segment_count == 4
+
+    def test_roof_matches_issue_bound(self):
+        core = big_core()
+        fit = derive_roofline(core)
+        assert fit.value(490.0) == pytest.approx(
+            core.peak_ipc * core.frequency_mhz, rel=0.05
+        )
+
+    def test_breakpoints_near_pressure_kappas(self):
+        """The fitted knees land near the configured cache-pressure
+        boundaries — the rk3399's published 30/70 shape."""
+        fit = derive_roofline(little_core(), samples=240)
+        assert any(abs(b - 30) < 15 for b in fit.boundaries)
+        assert any(abs(b - 70) < 25 for b in fit.boundaries)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_roofline(big_core(), samples=4)
+
+    def test_fit_tracks_model(self):
+        core = little_core()
+        fit = derive_roofline(core, samples=240)
+        for kappa in (10.0, 50.0, 120.0, 300.0):
+            assert fit.value(kappa) == pytest.approx(
+                instructions_per_microsecond(core, kappa), rel=0.25
+            )

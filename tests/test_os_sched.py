@@ -1,0 +1,65 @@
+"""EAS-like OS placement simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simcore.boards import rk3399
+from repro.simcore.os_sched import (
+    OS_CONTEXT_SWITCHES_PER_KB,
+    eas_place,
+)
+
+
+@pytest.fixture
+def board():
+    return rk3399()
+
+
+class TestEasPlace:
+    def test_places_all_workers(self, board):
+        placement = eas_place(board, 6, np.random.default_rng(0))
+        assert len(placement) == 6
+        assert set(placement) <= set(board.core_ids)
+
+    def test_prefers_little_cores(self, board):
+        placement = eas_place(board, 4, np.random.default_rng(0))
+        little = set(board.little_core_ids)
+        assert all(core in little for core in placement)
+
+    def test_packs_two_per_little_core(self, board):
+        """The black-box utilization estimate lets EAS co-locate two
+        workers per little core — the paper's over-consolidation."""
+        placement = eas_place(board, 6, np.random.default_rng(0))
+        little = set(board.little_core_ids)
+        little_placed = [c for c in placement if c in little]
+        counts = {c: little_placed.count(c) for c in set(little_placed)}
+        assert max(counts.values()) == 2
+
+    def test_spills_when_everything_full(self, board):
+        placement = eas_place(board, 20, np.random.default_rng(0))
+        assert len(placement) == 20
+
+    def test_randomized_across_runs(self, board):
+        first = eas_place(board, 4, np.random.default_rng(1))
+        different = [
+            eas_place(board, 4, np.random.default_rng(seed)) for seed in range(10)
+        ]
+        assert any(placement != first for placement in different)
+
+    def test_deterministic_per_rng_state(self, board):
+        assert eas_place(board, 5, np.random.default_rng(3)) == eas_place(
+            board, 5, np.random.default_rng(3)
+        )
+
+    def test_zero_workers_rejected(self, board):
+        with pytest.raises(ConfigurationError):
+            eas_place(board, 0, np.random.default_rng(0))
+
+
+class TestConstants:
+    def test_context_switch_rate_matches_paper(self):
+        # ~60 000 context switches per compressed MB.
+        assert OS_CONTEXT_SWITCHES_PER_KB * 1024 == pytest.approx(
+            60_000, rel=0.05
+        )

@@ -1,0 +1,91 @@
+"""PSO tuning of the PID gains (the paper's §VII-A configuration step)."""
+
+import pytest
+
+from repro.core.pid_tuning import (
+    DEFAULT_BOUNDS,
+    pso_tune_pid,
+    step_response_fitness,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFitness:
+    def test_paper_gains_are_good(self):
+        """The paper's PSO-tuned gains score far better than naive ones."""
+        paper = step_response_fitness((0.1, 0.85, 0.05))
+        sluggish = step_response_fitness((0.01, 0.05, 0.0))
+        assert paper < sluggish / 5
+
+    def test_aggressive_gains_penalized_for_overshoot(self):
+        paper = step_response_fitness((0.1, 0.85, 0.05))
+        aggressive = step_response_fitness((1.0, 1.5, 0.5))
+        assert paper < aggressive
+
+    def test_negative_gains_infeasible(self):
+        assert step_response_fitness((-0.1, 0.8, 0.0)) == float("inf")
+
+    def test_perfect_tracking_low_cost(self):
+        # I=1 with P=D=0 reaches the step in one move: cost ~0.
+        assert step_response_fitness((0.0, 1.0, 0.0)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestPso:
+    def test_converges_near_optimum(self):
+        result = pso_tune_pid(seed=3)
+        assert result.fitness < step_response_fitness((0.1, 0.85, 0.05)) + 1e-6
+
+    def test_tuned_gains_track_a_step_quickly(self):
+        from repro.core.adaptive import IncrementalPID
+
+        result = pso_tune_pid(seed=1)
+        controller = IncrementalPID(*result.gains)
+        x = 0.0
+        for _ in range(5):
+            x += controller.step(1.0 - x)
+        assert x == pytest.approx(1.0, abs=0.05)
+
+    def test_integral_dominates_like_the_paper(self):
+        """The tuned optimum lands in the paper's I-heavy corner."""
+        result = pso_tune_pid(seed=2)
+        p, i, d = result.gains
+        assert i > p
+        assert i > d
+
+    def test_history_monotone_nonincreasing(self):
+        result = pso_tune_pid(seed=0, iterations=15)
+        history = result.history
+        assert all(b <= a + 1e-12 for a, b in zip(history, history[1:]))
+
+    def test_deterministic_per_seed(self):
+        assert pso_tune_pid(seed=9).gains == pso_tune_pid(seed=9).gains
+
+    def test_positions_respect_bounds(self):
+        result = pso_tune_pid(seed=4)
+        for gain, (low, high) in zip(result.gains, DEFAULT_BOUNDS):
+            assert low - 1e-12 <= gain <= high + 1e-12
+
+    def test_evaluation_budget_accounted(self):
+        result = pso_tune_pid(seed=0, swarm_size=10, iterations=5)
+        assert result.evaluations == 10 + 10 * 5
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            pso_tune_pid(swarm_size=1)
+        with pytest.raises(ConfigurationError):
+            pso_tune_pid(bounds=((0, 1), (0, 1)))
+        with pytest.raises(ConfigurationError):
+            pso_tune_pid(bounds=((1, 0), (0, 1), (0, 1)))
+
+    def test_custom_fitness(self):
+        # Tune against a different target: any callable works.
+        result = pso_tune_pid(
+            fitness=lambda gains: (gains[0] - 0.5) ** 2
+            + (gains[1] - 0.5) ** 2
+            + (gains[2] - 0.25) ** 2,
+            seed=0,
+        )
+        assert result.gains[0] == pytest.approx(0.5, abs=0.05)
+        assert result.gains[2] == pytest.approx(0.25, abs=0.05)

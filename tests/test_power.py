@@ -1,0 +1,93 @@
+"""Energy meter: integration, breakdown, sampling trace."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.boards import rk3399
+from repro.simcore.power import EnergyMeter
+
+
+@pytest.fixture
+def meter():
+    return EnergyMeter(rk3399())
+
+
+class TestBusyRecording:
+    def test_energy_is_power_times_time(self, meter):
+        energy = meter.record_busy(0, 0.0, 100.0, 0.02)
+        assert energy == pytest.approx(2.0)  # W x µs = µJ
+
+    def test_accumulates_per_core(self, meter):
+        meter.record_busy(0, 0.0, 10.0, 1.0)
+        meter.record_busy(0, 10.0, 10.0, 1.0)
+        meter.record_busy(4, 0.0, 5.0, 2.0)
+        by_core = meter.busy_energy_by_core()
+        assert by_core[0] == pytest.approx(20.0)
+        assert by_core[4] == pytest.approx(10.0)
+
+    def test_negative_duration_rejected(self, meter):
+        with pytest.raises(SimulationError):
+            meter.record_busy(0, 0.0, -1.0, 1.0)
+
+    def test_negative_power_rejected(self, meter):
+        with pytest.raises(SimulationError):
+            meter.record_busy(0, 0.0, 1.0, -1.0)
+
+
+class TestOverhead:
+    def test_overhead_accumulates(self, meter):
+        meter.record_overhead(3.0)
+        meter.record_overhead(4.0)
+        breakdown = meter.finalize(0.0)
+        assert breakdown.overhead_uj == pytest.approx(7.0)
+
+    def test_negative_overhead_rejected(self, meter):
+        with pytest.raises(SimulationError):
+            meter.record_overhead(-1.0)
+
+
+class TestFinalize:
+    def test_static_energy_scales_with_window(self, meter):
+        short = EnergyMeter(rk3399()).finalize(1000.0)
+        long = EnergyMeter(rk3399()).finalize(2000.0)
+        assert long.static_uj == pytest.approx(2 * short.static_uj)
+
+    def test_total_is_sum_of_parts(self, meter):
+        meter.record_busy(0, 0.0, 10.0, 1.0)
+        meter.record_overhead(5.0)
+        breakdown = meter.finalize(100.0)
+        assert breakdown.total_uj == pytest.approx(
+            breakdown.busy_uj + breakdown.static_uj + breakdown.overhead_uj
+        )
+
+    def test_negative_window_rejected(self, meter):
+        with pytest.raises(SimulationError):
+            meter.finalize(-1.0)
+
+    def test_static_power_includes_uncore_and_cores(self):
+        board = rk3399()
+        breakdown = EnergyMeter(board).finalize(1000.0)
+        expected = (
+            board.uncore_power_w
+            + sum(core.static_power_w for core in board.cores)
+        ) * 1000.0
+        assert breakdown.static_uj == pytest.approx(expected)
+
+
+class TestPowerTrace:
+    def test_trace_length(self):
+        meter = EnergyMeter(rk3399(), sampling_interval_us=100.0)
+        trace = meter.power_trace(1000.0)
+        assert len(trace) == 11  # 0, 100, ..., 1000
+
+    def test_trace_shows_busy_interval(self):
+        meter = EnergyMeter(rk3399(), sampling_interval_us=10.0)
+        meter.record_busy(0, 20.0, 30.0, 0.5)
+        trace = dict(meter.power_trace(100.0))
+        floor = trace[0.0]
+        assert trace[30.0] == pytest.approx(floor + 0.5)
+        assert trace[60.0] == pytest.approx(floor)
+
+    def test_invalid_sampling_interval(self):
+        with pytest.raises(SimulationError):
+            EnergyMeter(rk3399(), sampling_interval_us=0.0)

@@ -1,0 +1,42 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.bench.report import generate_report
+
+
+class TestGenerateReport:
+    def test_single_experiment_report(self, tmp_path, small_harness):
+        path = tmp_path / "report.md"
+        text = generate_report(
+            str(path), harness=small_harness, experiment_ids=["tab4"]
+        )
+        assert path.read_text() == text
+        assert "# CStream reproduction report" in text
+        assert "## tab4" in text
+        assert "| Task |" in text  # markdown table header
+
+    def test_configuration_recorded(self, tmp_path, small_harness):
+        text = generate_report(
+            str(tmp_path / "r.md"),
+            harness=small_harness,
+            experiment_ids=["tab2"],
+        )
+        assert "rk3399" in text
+        assert f"| repetitions per cell | {small_harness.repetitions} |" in text
+
+    def test_multiple_experiments_in_order(self, tmp_path, small_harness):
+        text = generate_report(
+            str(tmp_path / "r.md"),
+            harness=small_harness,
+            experiment_ids=["tab2", "tab4"],
+        )
+        assert text.index("## tab2") < text.index("## tab4")
+
+    def test_unknown_experiment_rejected(self, tmp_path, small_harness):
+        with pytest.raises(KeyError):
+            generate_report(
+                str(tmp_path / "r.md"),
+                harness=small_harness,
+                experiment_ids=["fig99"],
+            )

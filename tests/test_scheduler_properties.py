@@ -1,0 +1,184 @@
+"""Property tests: scheduler optimality on randomized boards.
+
+The paper's board is one point in the design space; the scheduler's
+guarantees (optimal among enumerated plans, constraints honoured) must
+hold for any asymmetric topology. Boards are generated from random
+cache/µarch parameters via the memory model, so the rooflines are
+internally consistent rather than arbitrary curves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import WorkloadContext
+from repro.core.plan import SchedulingPlan
+from repro.core.profiler import profile_workload
+from repro.core.scheduler import Scheduler
+from repro.compression import get_codec
+from repro.datasets import get_dataset
+from repro.simcore.boards import BoardSpec, rk3399
+from repro.simcore.hardware import ClusterSpec, CoreSpec, CoreType, PiecewiseRoofline
+from repro.simcore.memory import CoreMicroarchitecture, derive_roofline
+
+
+def _roofline_from_fit(fit) -> PiecewiseRoofline:
+    return PiecewiseRoofline(
+        breakpoints=tuple(fit.boundaries[:-1]) or (fit.kappa_max,),
+        slopes=tuple(fit.slopes[:-1]) or (0.0,),
+        intercepts=tuple(fit.intercepts[:-1]) or (fit.roof,),
+        roof=max(fit.roof, 1e-3),
+    )
+
+
+def make_board(
+    little_count: int,
+    big_count: int,
+    little_mhz: float,
+    big_mhz: float,
+    big_speedup: float,
+) -> BoardSpec:
+    """Build a consistent board from microarchitecture parameters."""
+    reference = rk3399()
+    little_uarch = CoreMicroarchitecture(
+        frequency_mhz=little_mhz, peak_ipc=2.0, in_order=True
+    )
+    big_uarch = CoreMicroarchitecture(
+        frequency_mhz=big_mhz, peak_ipc=2.0 * big_speedup, in_order=False
+    )
+    little_eta = _roofline_from_fit(derive_roofline(little_uarch))
+    big_eta = _roofline_from_fit(derive_roofline(big_uarch))
+    # ζ scaled from η: little cores 2x more efficient per instruction.
+    little_zeta = PiecewiseRoofline(
+        breakpoints=little_eta.breakpoints,
+        slopes=tuple(s * 100 for s in little_eta.slopes),
+        intercepts=tuple(i * 100 + 50 for i in little_eta.intercepts),
+        roof=little_eta.roof * 100 + 50,
+    )
+    big_zeta = PiecewiseRoofline(
+        breakpoints=big_eta.breakpoints,
+        slopes=tuple(s * 50 for s in big_eta.slopes),
+        intercepts=tuple(i * 50 + 25 for i in big_eta.intercepts),
+        roof=big_eta.roof * 50 + 25,
+    )
+    cores = []
+    for core_id in range(little_count):
+        cores.append(
+            CoreSpec(
+                core_id=core_id,
+                core_type=CoreType.LITTLE,
+                cluster_id=0,
+                model="gen-little",
+                max_frequency_mhz=little_mhz,
+                frequency_levels_mhz=(little_mhz / 2, little_mhz),
+                eta=little_eta,
+                zeta=little_zeta,
+                static_power_w=0.0001,
+                busy_floor_power_w=0.001,
+            )
+        )
+    for offset in range(big_count):
+        core_id = little_count + offset
+        cores.append(
+            CoreSpec(
+                core_id=core_id,
+                core_type=CoreType.BIG,
+                cluster_id=1,
+                model="gen-big",
+                max_frequency_mhz=big_mhz,
+                frequency_levels_mhz=(big_mhz / 2, big_mhz),
+                eta=big_eta,
+                zeta=big_zeta,
+                static_power_w=0.0002,
+                busy_floor_power_w=0.003,
+            )
+        )
+    clusters = (
+        ClusterSpec(
+            cluster_id=0,
+            core_type=CoreType.LITTLE,
+            core_ids=tuple(range(little_count)),
+        ),
+        ClusterSpec(
+            cluster_id=1,
+            core_type=CoreType.BIG,
+            core_ids=tuple(range(little_count, little_count + big_count)),
+        ),
+    )
+    return BoardSpec(
+        name=f"generated {little_count}+{big_count}",
+        cores=tuple(cores),
+        clusters=clusters,
+        interconnect=reference.interconnect,
+        uncore_power_w=0.0002,
+        context_switch_instructions=330.0,
+        replication_latency_overhead=0.07,
+        replication_energy_overhead=0.27,
+    )
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return profile_workload(
+        get_codec("tcomp32"), get_dataset("rovio"), 8192, batches=3
+    )
+
+
+boards = st.builds(
+    make_board,
+    little_count=st.integers(min_value=2, max_value=6),
+    big_count=st.integers(min_value=1, max_value=3),
+    little_mhz=st.sampled_from([800.0, 1200.0, 1600.0]),
+    big_mhz=st.sampled_from([1400.0, 1800.0, 2200.0]),
+    big_speedup=st.sampled_from([1.3, 1.8, 2.5]),
+)
+
+
+class TestRandomBoards:
+    @given(boards, st.sampled_from([18.0, 30.0, 60.0]))
+    @settings(max_examples=15, deadline=None)
+    def test_schedule_never_beaten_by_random_plans(
+        self, profile, board, constraint
+    ):
+        """No sampled feasible plan has lower modelled energy than the
+        scheduler's optimum under the same model."""
+        context = WorkloadContext.build(board, profile, constraint)
+        model = context.cost_model(context.fine_graph)
+        result = Scheduler(model).schedule(best_effort=True)
+        if not result.feasible:
+            return
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            assignments = tuple(
+                (int(rng.choice(board.core_ids)),)
+                for _ in context.fine_graph.tasks
+            )
+            estimate = model.evaluate(
+                SchedulingPlan(
+                    graph=context.fine_graph, assignments=assignments
+                )
+            )
+            if estimate.feasible:
+                assert (
+                    result.estimate.energy_uj_per_byte
+                    <= estimate.energy_uj_per_byte + 1e-12
+                )
+
+    @given(boards)
+    @settings(max_examples=10, deadline=None)
+    def test_feasible_schedule_honours_constraint(self, profile, board):
+        constraint = 40.0
+        context = WorkloadContext.build(board, profile, constraint)
+        model = context.cost_model(context.fine_graph)
+        result = Scheduler(model).schedule(best_effort=True)
+        if result.feasible:
+            assert result.estimate.latency_us_per_byte <= constraint
+
+    @given(boards)
+    @settings(max_examples=10, deadline=None)
+    def test_plan_uses_only_board_cores(self, profile, board):
+        context = WorkloadContext.build(board, profile, 60.0)
+        model = context.cost_model(context.fine_graph)
+        result = Scheduler(model).schedule(best_effort=True)
+        assert set(result.plan.cores_used()) <= set(board.core_ids)

@@ -1,0 +1,126 @@
+"""Statistics-aware regulation (future-work controller)."""
+
+import pytest
+
+from repro.compression.base import StepCost
+from repro.core.statistics_regulator import StatisticsAwareRegulator
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def setup(tcomp32_rovio_context):
+    context = tcomp32_rovio_context
+    model = context.cost_model(context.fine_graph)
+    regulator = StatisticsAwareRegulator(model)
+    baseline = {
+        step: context.profile.mean_step_costs[step]
+        for step in context.profile.step_ids
+    }
+    return regulator, baseline
+
+
+def scaled_costs(baseline, factor):
+    return {
+        step: StepCost(
+            instructions=cost.instructions * factor,
+            memory_accesses=cost.memory_accesses * factor,
+            input_bytes=cost.input_bytes,
+            output_bytes=cost.output_bytes,
+        )
+        for step, cost in baseline.items()
+    }
+
+
+class TestConstruction:
+    def test_invalid_threshold(self, tcomp32_rovio_context):
+        context = tcomp32_rovio_context
+        model = context.cost_model(context.fine_graph)
+        with pytest.raises(ConfigurationError):
+            StatisticsAwareRegulator(model, trigger_threshold=0.0)
+
+    def test_invalid_smoothing(self, tcomp32_rovio_context):
+        context = tcomp32_rovio_context
+        model = context.cost_model(context.fine_graph)
+        with pytest.raises(ConfigurationError):
+            StatisticsAwareRegulator(model, smoothing=1.0)
+
+    def test_initial_plan_feasible(self, setup):
+        regulator, _ = setup
+        assert regulator.estimate.feasible
+
+
+class TestObservation:
+    def test_stable_stream_no_replan(self, setup):
+        regulator, baseline = setup
+        for batch in range(4):
+            event = regulator.observe(batch, baseline)
+            assert not event.replanned
+            assert event.max_shift < 0.05
+
+    def test_jump_triggers_single_step_replan(self, setup):
+        """The headline property: one drifted batch is enough."""
+        regulator, baseline = setup
+        regulator.observe(0, baseline)
+        event = regulator.observe(1, scaled_costs(baseline, 1.6))
+        assert event.replanned
+        assert event.max_shift > 0.15
+
+    def test_model_scale_tracks_jump(self, setup):
+        regulator, baseline = setup
+        regulator.observe(0, baseline)
+        regulator.observe(1, scaled_costs(baseline, 1.6))
+        # With smoothing 0.3 the first observation sees 70% of the jump.
+        scale = regulator.model.latency_scale[0]
+        assert 1.3 < scale < 1.7
+
+    def test_small_noise_filtered(self, setup):
+        regulator, baseline = setup
+        for batch, factor in enumerate((1.02, 0.97, 1.05, 0.99)):
+            event = regulator.observe(batch, scaled_costs(baseline, factor))
+            assert not event.replanned
+
+    def test_rebaseline_after_replan(self, setup):
+        """After adapting, the new level is normal — no repeat triggers."""
+        regulator, baseline = setup
+        high = scaled_costs(baseline, 1.6)
+        regulator.observe(0, high)   # replan
+        events = [regulator.observe(batch, high) for batch in (1, 2, 3)]
+        assert sum(event.replanned for event in events) <= 1  # settling only
+
+    def test_events_recorded(self, setup):
+        regulator, baseline = setup
+        regulator.observe(0, baseline)
+        regulator.observe(1, scaled_costs(baseline, 2.0))
+        assert len(regulator.events) == 2
+        assert regulator.events[1].max_shift > regulator.events[0].max_shift
+
+
+class TestVersusPid:
+    def test_faster_than_pid_on_a_jump(self, tcomp32_rovio_context):
+        """The §V-D trade-off, measured: the statistics watcher replans
+        within one observation; the PID needs at least three."""
+        from repro.core.adaptive import FeedbackRegulator
+
+        context = tcomp32_rovio_context
+        baseline = {
+            step: context.profile.mean_step_costs[step]
+            for step in context.profile.step_ids
+        }
+        jumped = scaled_costs(baseline, 1.6)
+
+        stats = StatisticsAwareRegulator(context.cost_model(context.fine_graph))
+        stats_batches = 0
+        for batch in range(6):
+            stats_batches = batch
+            if stats.observe(batch, jumped).replanned:
+                break
+
+        pid = FeedbackRegulator(context.cost_model(context.fine_graph))
+        jumped_latency = pid.estimate.latency_us_per_byte * 1.6
+        pid_batches = 0
+        for batch in range(6):
+            pid_batches = batch
+            if pid.observe(batch, jumped_latency).replanned:
+                break
+
+        assert stats_batches < pid_batches

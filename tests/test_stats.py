@@ -1,0 +1,88 @@
+"""Batch statistics used by the cost model and generators."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.stats import analyze_batch, shannon_entropy
+
+
+class TestShannonEntropy:
+    def test_empty(self):
+        assert shannon_entropy(Counter()) == 0.0
+
+    def test_single_symbol(self):
+        assert shannon_entropy(Counter({"a": 100})) == 0.0
+
+    def test_uniform_two(self):
+        assert shannon_entropy(Counter({"a": 5, "b": 5})) == pytest.approx(1.0)
+
+    def test_uniform_n(self):
+        counts = Counter({i: 1 for i in range(16)})
+        assert shannon_entropy(counts) == pytest.approx(4.0)
+
+    def test_skew_lowers_entropy(self):
+        uniform = shannon_entropy(Counter({"a": 50, "b": 50}))
+        skewed = shannon_entropy(Counter({"a": 99, "b": 1}))
+        assert skewed < uniform
+
+
+class TestAnalyzeBatch:
+    def test_empty_batch(self):
+        stats = analyze_batch(b"")
+        assert stats.size_bytes == 0
+        assert stats.symbol_count == 0
+        assert stats.symbol_duplication == 0.0
+
+    def test_symbol_count(self):
+        stats = analyze_batch(b"\x00" * 64)
+        assert stats.symbol_count == 16
+
+    def test_all_identical_symbols(self):
+        data = np.full(100, 7, dtype=np.uint32).tobytes()
+        stats = analyze_batch(data)
+        assert stats.symbol_duplication == pytest.approx(0.99)
+
+    def test_all_unique_symbols(self):
+        data = np.arange(100, dtype=np.uint32).tobytes()
+        stats = analyze_batch(data)
+        assert stats.symbol_duplication == 0.0
+
+    def test_dynamic_range_of_zero_words(self):
+        data = np.zeros(10, dtype=np.uint32).tobytes()
+        stats = analyze_batch(data)
+        assert stats.dynamic_range_bits == pytest.approx(1.0)
+
+    def test_dynamic_range_of_max_words(self):
+        data = np.full(10, 0xFFFFFFFF, dtype=np.uint32).tobytes()
+        stats = analyze_batch(data)
+        assert stats.dynamic_range_bits == pytest.approx(32.0)
+
+    def test_entropy_bounded_by_log_count(self):
+        data = np.arange(64, dtype=np.uint32).tobytes()
+        stats = analyze_batch(data)
+        assert stats.symbol_entropy_bits == pytest.approx(6.0)
+
+    def test_vocabulary_duplication_independent_of_symbols(self):
+        # Pairs (1,2),(3,4),(1,2): symbols repeat AND vocabularies repeat.
+        data = np.array([1, 2, 3, 4, 1, 2], dtype=np.uint32).tobytes()
+        stats = analyze_batch(data)
+        assert stats.vocabulary_duplication == pytest.approx(1 / 3)
+
+    def test_odd_tail_ignored(self):
+        # 9 bytes: two symbols + 1 dangling byte.
+        stats = analyze_batch(b"\x01\x00\x00\x00\x02\x00\x00\x00\xff")
+        assert stats.symbol_count == 2
+
+    @given(st.binary(min_size=4, max_size=512))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, data):
+        stats = analyze_batch(data)
+        assert 0.0 <= stats.symbol_duplication <= 1.0
+        assert 0.0 <= stats.vocabulary_duplication <= 1.0
+        assert 0.0 <= stats.dynamic_range_bits <= 32.0
+        assert stats.symbol_entropy_bits >= 0.0
+        assert stats.size_bytes == len(data)

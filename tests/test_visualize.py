@@ -1,0 +1,135 @@
+"""Plan and power-trace rendering."""
+
+import pytest
+
+from repro.core.plan import SchedulingPlan
+from repro.core.scheduler import Scheduler
+from repro.runtime.visualize import render_plan, render_power_trace
+
+
+@pytest.fixture
+def estimate(tcomp32_rovio_context):
+    context = tcomp32_rovio_context
+    model = context.cost_model(context.fine_graph)
+    return Scheduler(model).schedule(best_effort=True).estimate
+
+
+class TestRenderPlan:
+    def test_every_core_listed(self, estimate, board):
+        text = render_plan(estimate, board)
+        for core in board.cores:
+            assert f"core {core.core_id}" in text
+
+    def test_idle_cores_marked(self, estimate, board):
+        text = render_plan(estimate, board)
+        assert "idle" in text
+
+    def test_bottleneck_marked_once(self, estimate, board):
+        text = render_plan(estimate, board)
+        assert text.count("<- bottleneck") == 1
+
+    def test_summary_line(self, estimate, board):
+        text = render_plan(estimate, board)
+        assert "L_est=" in text and "E_est=" in text
+
+    def test_task_names_visible(self, estimate, board):
+        text = render_plan(estimate, board)
+        assert "t0" in text and "t1" in text
+
+    def test_colocated_tasks_share_a_bar(self, tcomp32_rovio_context, board):
+        context = tcomp32_rovio_context
+        model = context.cost_model(context.fine_graph)
+        plan = SchedulingPlan(
+            graph=context.fine_graph, assignments=((4,), (4,))
+        )
+        text = render_plan(model.evaluate(plan), board)
+        core4_line = next(
+            line for line in text.splitlines() if line.startswith("core 4")
+        )
+        assert "t0" in core4_line and "t1" in core4_line
+
+
+class TestRenderPowerTrace:
+    def test_empty_trace(self):
+        assert render_power_trace([]) == "(no samples)"
+
+    def test_sparkline_length_bounded(self):
+        samples = [(float(t), 0.01) for t in range(1000)]
+        text = render_power_trace(samples, width=40)
+        sparkline = text.splitlines()[0]
+        assert len(sparkline) <= 41
+
+    def test_peak_reported(self):
+        samples = [(0.0, 0.005), (100.0, 0.025), (200.0, 0.01)]
+        text = render_power_trace(samples)
+        assert "25.0 mW" in text
+
+    def test_levels_track_power(self):
+        low = [(float(t), 0.001) for t in range(50)]
+        high = [(float(50 + t), 0.02) for t in range(50)]
+        text = render_power_trace(low + high, width=10)
+        sparkline = text.splitlines()[0]
+        # The second half must render denser glyphs than the first.
+        assert sparkline[:5].count("@") == 0
+        assert "@" in sparkline[5:]
+
+    def test_meter_trace_renders(self, board):
+        from repro.simcore.power import EnergyMeter
+
+        meter = EnergyMeter(board, sampling_interval_us=50.0)
+        meter.record_busy(0, 100.0, 200.0, 0.01)
+        text = render_power_trace(meter.power_trace(500.0))
+        assert "peak" in text
+
+
+class TestRenderGantt:
+    @pytest.fixture
+    def trace(self, tcomp32_rovio_context, board):
+        from repro.runtime.executor import ExecutionConfig, PipelineExecutor
+        from repro.core.scheduler import Scheduler
+
+        context = tcomp32_rovio_context
+        model = context.cost_model(context.fine_graph)
+        plan = Scheduler(model).schedule(best_effort=True).plan
+        executor = PipelineExecutor(
+            board,
+            ExecutionConfig(
+                latency_constraint_us_per_byte=26.0,
+                repetitions=1,
+                batches_per_repetition=4,
+            ),
+        )
+        executor.run(
+            plan,
+            context.profile.per_batch_step_costs,
+            context.profile.batch_size_bytes,
+        )
+        return executor.last_trace
+
+    def test_empty_trace(self, board):
+        from repro.runtime.visualize import render_gantt
+
+        assert render_gantt({}, board) == "(empty trace)"
+
+    def test_every_core_row(self, trace, board):
+        from repro.runtime.visualize import render_gantt
+
+        text = render_gantt(trace, board)
+        for core in board.cores:
+            assert f"core {core.core_id}" in text
+
+    def test_batches_visible(self, trace, board):
+        from repro.runtime.visualize import render_gantt
+
+        text = render_gantt(trace, board)
+        for digit in "0123":
+            assert digit in text
+
+    def test_trace_spans_consistent(self, trace):
+        for spans in trace.values():
+            for _, _, start, end in spans:
+                assert end >= start >= 0.0
+
+    def test_busy_cores_match_plan(self, trace):
+        busy = {core for core, spans in trace.items() if spans}
+        assert busy == {0, 4}  # t0@big(4), t1@little(0)
