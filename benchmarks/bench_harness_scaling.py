@@ -1,0 +1,194 @@
+"""Harness scaling: parallel grid execution + persistent result cache.
+
+Times a small mechanism×workload grid at ``--jobs 1,2,4`` on a cold
+cache, then re-runs it on the warm cache, and writes the trajectory
+record ``BENCH_harness.json`` (cells/sec, speedup vs serial, cache-hit
+rate). Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_harness_scaling.py
+    PYTHONPATH=src python benchmarks/bench_harness_scaling.py --quick
+
+or via pytest (``pytest benchmarks/bench_harness_scaling.py``).
+
+Assertions: parallel wall-clock must not exceed serial (only enforced
+on multi-core machines — on a single CPU process parallelism can only
+add overhead, which the JSON still records honestly), and the
+warm-cache re-run must be near-zero (< 20% of the cold serial time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.bench.cache import ResultCache
+from repro.bench.harness import Harness, WorkloadSpec
+
+#: tolerance for "parallel <= serial": scheduling jitter on busy CI boxes
+PARALLEL_SLACK = 1.05
+#: warm-cache re-run must cost at most this fraction of the cold serial run
+WARM_FRACTION = 0.20
+
+BENCH_BATCH_BYTES = 16384
+
+
+def build_grid(quick: bool):
+    if quick:
+        specs = [
+            WorkloadSpec.of(codec, "rovio", batch_size=BENCH_BATCH_BYTES)
+            for codec in ("tcomp32", "tdic32")
+        ]
+        mechanisms = ("CStream", "RR")
+    else:
+        specs = [
+            WorkloadSpec.of(codec, dataset, batch_size=BENCH_BATCH_BYTES)
+            for codec in ("tcomp32", "lz4", "tdic32")
+            for dataset in ("rovio", "stock")
+        ]
+        mechanisms = ("CStream", "OS", "RR", "BO")
+    return specs, mechanisms
+
+
+def fresh_harness(repetitions: int, cache) -> Harness:
+    return Harness(
+        repetitions=repetitions,
+        batches_per_repetition=5,
+        profile_batches=4,
+        cache=cache,
+        jobs=1,
+    )
+
+
+def time_grid(specs, mechanisms, repetitions, jobs, cache):
+    harness = fresh_harness(repetitions, cache)
+    started = time.perf_counter()
+    results = harness.grid(specs, mechanisms, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    return elapsed, results, harness
+
+
+def run_scaling(jobs_list, repetitions, quick, output):
+    specs, mechanisms = build_grid(quick)
+    cells = len(specs) * len(mechanisms)
+    cpu_count = os.cpu_count() or 1
+    print(
+        f"grid: {len(specs)} workloads x {len(mechanisms)} mechanisms = "
+        f"{cells} cells, {repetitions} repetitions, {cpu_count} CPUs"
+    )
+
+    serial_seconds, reference, _ = time_grid(
+        specs, mechanisms, repetitions, jobs=1, cache=None
+    )
+    print(f"jobs=1 (serial, no cache): {serial_seconds:.2f}s "
+          f"({cells / serial_seconds:.1f} cells/s)")
+
+    runs = [
+        {
+            "jobs": 1,
+            "cold_seconds": round(serial_seconds, 4),
+            "cells_per_sec": round(cells / serial_seconds, 2),
+            "speedup_vs_serial": 1.0,
+        }
+    ]
+    last_cache_dir = None
+    for jobs in [j for j in jobs_list if j > 1]:
+        cache_dir = tempfile.mkdtemp(prefix=f"cstream-bench-j{jobs}-")
+        elapsed, results, _ = time_grid(
+            specs, mechanisms, repetitions, jobs=jobs,
+            cache=ResultCache(cache_dir),
+        )
+        assert results == reference, (
+            f"jobs={jobs} produced different numbers than the serial run"
+        )
+        speedup = serial_seconds / elapsed
+        print(f"jobs={jobs} (cold cache): {elapsed:.2f}s "
+              f"({cells / elapsed:.1f} cells/s, {speedup:.2f}x vs serial)")
+        runs.append(
+            {
+                "jobs": jobs,
+                "cold_seconds": round(elapsed, 4),
+                "cells_per_sec": round(cells / elapsed, 2),
+                "speedup_vs_serial": round(speedup, 3),
+            }
+        )
+        last_cache_dir = cache_dir
+        if cpu_count > 1:
+            assert elapsed <= serial_seconds * PARALLEL_SLACK, (
+                f"parallel ({elapsed:.2f}s at jobs={jobs}) slower than "
+                f"serial ({serial_seconds:.2f}s) on a {cpu_count}-CPU box"
+            )
+
+    warm = None
+    if last_cache_dir is not None:
+        warm_seconds, results, harness = time_grid(
+            specs, mechanisms, repetitions, jobs=max(jobs_list),
+            cache=ResultCache(last_cache_dir),
+        )
+        assert results == reference, "warm cache returned different numbers"
+        stats = harness.cache.stats
+        print(f"warm cache: {warm_seconds:.2f}s "
+              f"({stats.hit_rate:.0%} hit rate, "
+              f"{serial_seconds / warm_seconds:.0f}x vs cold serial)")
+        assert warm_seconds <= serial_seconds * WARM_FRACTION, (
+            f"warm-cache re-run ({warm_seconds:.2f}s) is not near-zero vs "
+            f"cold serial ({serial_seconds:.2f}s)"
+        )
+        warm = {
+            "seconds": round(warm_seconds, 4),
+            "hit_rate": round(stats.hit_rate, 3),
+            "speedup_vs_cold_serial": round(serial_seconds / warm_seconds, 1),
+        }
+
+    record = {
+        "bench": "harness_scaling",
+        "grid": {
+            "workloads": [spec.label for spec in specs],
+            "mechanisms": list(mechanisms),
+            "cells": cells,
+            "repetitions": repetitions,
+            "batch_bytes": BENCH_BATCH_BYTES,
+        },
+        "cpu_count": cpu_count,
+        "runs": runs,
+        "warm_cache": warm,
+    }
+    with open(output, "w") as sink:
+        json.dump(record, sink, indent=2)
+        sink.write("\n")
+    print(f"wrote {output}")
+    return record
+
+
+def test_harness_scaling():
+    """Pytest entry: quick grid, jobs 1/2, temp output."""
+    with tempfile.TemporaryDirectory() as scratch:
+        record = run_scaling(
+            jobs_list=[1, 2],
+            repetitions=4,
+            quick=True,
+            output=os.path.join(scratch, "BENCH_harness.json"),
+        )
+    assert record["warm_cache"]["hit_rate"] == 1.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", default="1,2,4",
+                        help="comma-separated worker counts (default 1,2,4)")
+    parser.add_argument("--repetitions", type=int,
+                        default=int(os.environ.get("REPRO_REPETITIONS", 60)))
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid (CI smoke)")
+    parser.add_argument("--output", default="BENCH_harness.json")
+    args = parser.parse_args(argv)
+    jobs_list = sorted({int(j) for j in args.jobs.split(",")})
+    run_scaling(jobs_list, args.repetitions, args.quick, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

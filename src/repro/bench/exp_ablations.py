@@ -277,7 +277,12 @@ def abl_boards(
     rows = []
     values = {}
     for board in (rk3399(), jetson_tx2_like()):
-        board_harness = Harness(board=board, repetitions=repetitions)
+        # Per-board harnesses (the keys differ by board fingerprint), but
+        # share the caller's persistent cache so re-runs stay free.
+        board_kwargs = {"board": board, "repetitions": repetitions}
+        if harness is not None:
+            board_kwargs["cache"] = harness.cache
+        board_harness = Harness(**board_kwargs)
         for codec in ("tcomp32", "tdic32"):
             spec = WorkloadSpec.of(codec, "rovio")
             context = board_harness.context(spec)

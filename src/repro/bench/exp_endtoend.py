@@ -13,7 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, prefetch_grid
 from repro.bench.harness import Harness, WorkloadSpec, default_harness
 from repro.compression import get_codec
 from repro.core.adaptive import FeedbackRegulator
@@ -55,6 +55,7 @@ def fig07_energy(
     workloads."""
     harness = harness or default_harness()
     specs = end_to_end_specs()
+    prefetch_grid(harness, specs, MECHANISM_NAMES, repetitions)
     rows = []
     savings = {}
     for spec in specs:
@@ -85,6 +86,7 @@ def fig08_clcv(
 ) -> ExperimentResult:
     """Fig 8: compressing-latency-constraint violations on the same grid."""
     harness = harness or default_harness()
+    prefetch_grid(harness, end_to_end_specs(), MECHANISM_NAMES, repetitions)
     rows = []
     clcv = {}
     for spec in end_to_end_specs():

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, prefetch_grid
 from repro.bench.harness import Harness, WorkloadSpec, default_harness
 from repro.core.baselines import MECHANISM_NAMES
 
@@ -34,6 +34,7 @@ def _sweep(
     repetitions: Optional[int],
     metric: str,
 ):
+    prefetch_grid(harness, specs, MECHANISM_NAMES, repetitions)
     rows = []
     values = {}
     for label, spec in zip(labels, specs):
@@ -62,6 +63,7 @@ def fig10_latency_constraint(
         WorkloadSpec.of("tcomp32", "rovio", latency_constraint=l)
         for l in constraints
     ]
+    prefetch_grid(harness, specs, MECHANISM_NAMES, repetitions)
     rows = []
     values = {}
     for constraint, spec in zip(constraints, specs):

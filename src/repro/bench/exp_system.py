@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, prefetch_grid
 from repro.bench.harness import Harness, WorkloadSpec, default_harness
 from repro.core.baselines import MECHANISM_NAMES, get_mechanism
 
@@ -81,6 +81,11 @@ def fig16_dvfs(
     (cells: E µJ/B / CLCV)."""
     harness = harness or default_harness()
     spec = WorkloadSpec.of("tcomp32", "rovio")
+    for governor in governors:
+        prefetch_grid(
+            harness, [spec], MECHANISM_NAMES, repetitions,
+            governor=governor, batches_per_repetition=14, warmup_batches=6,
+        )
     rows = []
     values = {}
     for governor in governors:
@@ -128,9 +133,11 @@ def fig17_breakdown(
     spec = WorkloadSpec.of(
         "tcomp32", "rovio", latency_constraint=latency_constraint
     )
+    factors = ("simple", "+decom.", "+asy-comp.", "+asy-comm.")
+    prefetch_grid(harness, [spec], factors, repetitions)
     rows = []
     values = {}
-    for mechanism in ("simple", "+decom.", "+asy-comp.", "+asy-comm."):
+    for mechanism in factors:
         result = harness.run(spec, mechanism, repetitions=repetitions)
         values[mechanism] = {
             "E": result.mean_energy_uj_per_byte,

@@ -3,7 +3,17 @@
 The harness owns a process-wide cache of profiled workloads, workload
 contexts and measurement runs, so the figure benches (which share many
 cells — Fig 7 and Fig 8 are the same runs read out two ways) never
-repeat a simulation.
+repeat a simulation. Two optional layers extend that:
+
+* a **persistent result cache** (:mod:`repro.bench.cache`): point
+  ``REPRO_CACHE_DIR`` at a directory (or pass ``cache=``) and profiles
+  and run results survive the process, keyed by a content digest of
+  everything that affects them — board, spec, mechanism, repetitions,
+  seed, executor overrides, code-version salt;
+* a **parallel grid executor** (:mod:`repro.bench.parallel`):
+  ``grid(..., jobs=N)`` (or ``REPRO_PARALLEL=N``) fans independent
+  cells out over worker processes; each cell is one self-contained DES
+  run, so results are byte-identical to the serial order.
 
 Conventions:
 
@@ -21,6 +31,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.bench.cache import ResultCache, default_cache, stable_digest
 from repro.compression import get_codec
 from repro.core.baselines import (
     MechanismOutcome,
@@ -43,11 +54,28 @@ PAPER_BATCH_BYTES = 932_800
 DEFAULT_BATCH_BYTES = int(os.environ.get("REPRO_BATCH_BYTES", 65536))
 DEFAULT_REPETITIONS = int(os.environ.get("REPRO_REPETITIONS", 100))
 
+#: sentinel distinguishing "use the env-configured default cache" from
+#: an explicit ``cache=None`` (no persistent cache)
+_DEFAULT_CACHE = object()
+
+
+def _freeze(value):
+    """Recursively convert mappings/lists into hashable tuples."""
+    if isinstance(value, Mapping):
+        return tuple(
+            (key, _freeze(value[key])) for key in sorted(value, key=repr)
+        )
+    if isinstance(value, (list, set, frozenset)):
+        return tuple(_freeze(item) for item in sorted(value, key=repr))
+    if isinstance(value, tuple):
+        return tuple(_freeze(item) for item in value)
+    return value
+
 
 def _frozen(mapping: Optional[Mapping]) -> Tuple:
     if not mapping:
         return ()
-    return tuple(sorted(mapping.items()))
+    return tuple((key, _freeze(mapping[key])) for key in sorted(mapping))
 
 
 @dataclass(frozen=True)
@@ -90,7 +118,13 @@ class WorkloadSpec:
 
 
 class Harness:
-    """Caching experiment runner."""
+    """Caching experiment runner.
+
+    ``cache`` attaches a persistent :class:`~repro.bench.cache.ResultCache`
+    (default: the one named by ``REPRO_CACHE_DIR``, if set; pass ``None``
+    to disable). ``jobs`` is the default process-parallelism of
+    :meth:`grid` (default: ``REPRO_PARALLEL``, else serial).
+    """
 
     def __init__(
         self,
@@ -99,37 +133,109 @@ class Harness:
         batches_per_repetition: int = 6,
         profile_batches: int = 4,
         seed: int = 0,
+        cache=_DEFAULT_CACHE,
+        jobs: Optional[int] = None,
     ) -> None:
         self.board = board if board is not None else rk3399()
         self.repetitions = repetitions
         self.batches_per_repetition = batches_per_repetition
         self.profile_batches = profile_batches
         self.seed = seed
+        self.cache: Optional[ResultCache] = (
+            default_cache() if cache is _DEFAULT_CACHE else cache
+        )
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_PARALLEL", "1"))
+        self.jobs = max(1, jobs)
         self._profiles: Dict = {}
         self._contexts: Dict = {}
         self._runs: Dict = {}
 
+    # -- cache keys ---------------------------------------------------------
+
+    def board_fingerprint(self) -> str:
+        """Stable digest of the board spec (``repr`` covers every field
+        that shapes the simulation). Recomputed per call so a mutated
+        ``harness.board`` can never serve another board's cells."""
+        return stable_digest(repr(self.board), salt="board")[:16]
+
+    def profile_key(self, spec: WorkloadSpec) -> Tuple:
+        """Everything :func:`profile_workload` depends on."""
+        return (
+            "profile",
+            spec.codec, spec.codec_options,
+            spec.dataset, spec.dataset_options,
+            spec.batch_size,
+            max(self.profile_batches, self.batches_per_repetition),
+            self.seed,
+        )
+
+    def context_key(
+        self, spec: WorkloadSpec, frequency_map: Optional[Mapping] = None
+    ) -> Tuple:
+        return (
+            "context",
+            self.board_fingerprint(),
+            self.profile_key(spec),
+            spec.latency_constraint,
+            _frozen(frequency_map),
+        )
+
+    def run_key(
+        self,
+        spec: WorkloadSpec,
+        mechanism: str,
+        repetitions: Optional[int] = None,
+        config_overrides: Optional[Mapping] = None,
+    ) -> Tuple:
+        """Everything a measured cell depends on: board, workload spec,
+        mechanism, repetition/batch counts, seed and executor overrides.
+        Used both for the in-memory map and (digested, salted with the
+        cache version) for the persistent store."""
+        return (
+            "run",
+            self.board_fingerprint(),
+            spec,
+            mechanism,
+            repetitions or self.repetitions,
+            self.batches_per_repetition,
+            max(self.profile_batches, self.batches_per_repetition),
+            self.seed,
+            _frozen(config_overrides),
+        )
+
+    def clear_caches(self) -> None:
+        """Drop the in-memory caches (workers call this between grids to
+        bound memory; the persistent cache is unaffected)."""
+        self._profiles.clear()
+        self._contexts.clear()
+        self._runs.clear()
+
     # -- cached building blocks ---------------------------------------------
 
     def profile(self, spec: WorkloadSpec) -> WorkloadProfile:
-        key = (spec.codec, spec.codec_options, spec.dataset,
-               spec.dataset_options, spec.batch_size)
+        key = self.profile_key(spec)
         if key not in self._profiles:
-            self._profiles[key] = profile_workload(
-                spec.make_codec(),
-                spec.make_dataset(),
-                spec.batch_size,
-                batches=max(self.profile_batches, self.batches_per_repetition),
-                seed=self.seed,
-            )
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is None:
+                cached = profile_workload(
+                    spec.make_codec(),
+                    spec.make_dataset(),
+                    spec.batch_size,
+                    batches=max(
+                        self.profile_batches, self.batches_per_repetition
+                    ),
+                    seed=self.seed,
+                )
+                if self.cache is not None:
+                    self.cache.put(key, cached)
+            self._profiles[key] = cached
         return self._profiles[key]
 
     def context(
         self, spec: WorkloadSpec, frequency_map: Optional[Mapping] = None
     ) -> WorkloadContext:
-        key = (spec.codec, spec.codec_options, spec.dataset,
-               spec.dataset_options, spec.batch_size, spec.latency_constraint,
-               _frozen(frequency_map))
+        key = self.context_key(spec, frequency_map)
         if key not in self._contexts:
             self._contexts[key] = WorkloadContext.build(
                 self.board,
@@ -142,6 +248,43 @@ class Harness:
 
     # -- measurement -----------------------------------------------------------
 
+    def cached_run(
+        self,
+        spec: WorkloadSpec,
+        mechanism: str,
+        repetitions: Optional[int] = None,
+        config_overrides: Optional[Mapping] = None,
+    ) -> Optional[RunResult]:
+        """The cached result of a cell, or None without computing it.
+
+        Checks the in-memory map first, then the persistent cache
+        (promoting a persistent hit into memory).
+        """
+        key = self.run_key(spec, mechanism, repetitions, config_overrides)
+        if key in self._runs:
+            return self._runs[key]
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._runs[key] = cached
+                return cached
+        return None
+
+    def store_run(
+        self,
+        spec: WorkloadSpec,
+        mechanism: str,
+        repetitions: Optional[int],
+        config_overrides: Optional[Mapping],
+        result: RunResult,
+    ) -> None:
+        """Merge an externally computed cell (e.g. from a worker process)
+        into the in-memory and persistent caches."""
+        key = self.run_key(spec, mechanism, repetitions, config_overrides)
+        self._runs[key] = result
+        if self.cache is not None and key not in self.cache:
+            self.cache.put(key, result)
+
     def run(
         self,
         spec: WorkloadSpec,
@@ -150,17 +293,16 @@ class Harness:
         **config_overrides,
     ) -> RunResult:
         """Measure one (workload, mechanism) cell; results are cached."""
-        repetitions = repetitions or self.repetitions
-        key = (spec, mechanism, repetitions, _frozen(config_overrides))
-        if key in self._runs:
-            return self._runs[key]
+        cached = self.cached_run(spec, mechanism, repetitions, config_overrides)
+        if cached is not None:
+            return cached
 
         context = self.context(spec)
         outcome = get_mechanism(mechanism).prepare(context)
         result = self.run_outcome(
             spec, outcome, repetitions=repetitions, **config_overrides
         )
-        self._runs[key] = result
+        self.store_run(spec, mechanism, repetitions, config_overrides, result)
         return result
 
     def run_outcome(
@@ -204,9 +346,24 @@ class Harness:
         self,
         specs: Sequence[WorkloadSpec],
         mechanisms: Sequence[str],
+        jobs: Optional[int] = None,
         **config_overrides,
     ) -> Dict[Tuple[str, str], RunResult]:
-        """Run a (workload × mechanism) grid, cached cell by cell."""
+        """Run a (workload × mechanism) grid, cached cell by cell.
+
+        ``jobs > 1`` fans uncached cells out over worker processes (see
+        :mod:`repro.bench.parallel`); the default comes from the
+        harness's ``jobs`` (i.e. ``REPRO_PARALLEL``, else serial). Cell
+        results are identical either way — each cell is an independent,
+        seeded DES run.
+        """
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        if jobs > 1:
+            from repro.bench.parallel import run_grid
+
+            return run_grid(
+                self, specs, mechanisms, jobs=jobs, **config_overrides
+            )
         results = {}
         for spec in specs:
             for mechanism in mechanisms:

@@ -1,0 +1,185 @@
+"""Process-parallel grid execution for the experiment harness.
+
+The paper's evaluation grids are embarrassingly parallel: every
+(workload, mechanism) cell is an independent, seeded discrete-event
+simulation, and the GIL only serializes threads *inside* one run
+(DESIGN.md's ``repro_why``), not separate interpreter processes. This
+module fans :meth:`Harness.grid` cells out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* the parent first serves every cell it can from the in-memory and
+  persistent caches, so a warm cache dispatches no workers at all;
+* each worker's initializer rebuilds a private :class:`Harness` from a
+  pickled payload — the (possibly non-default) board, the harness
+  knobs, and the parent's **profile table** (the profile-sharing fast
+  path: ``profile_workload`` re-compresses real data with pure-Python
+  codecs, the single most repeated cost, so it is computed once in the
+  parent, persisted, and shipped instead of recomputed per process);
+* workers write their results into the shared persistent cache
+  (atomic ``os.replace`` makes concurrent writers safe), and the parent
+  merges the returned :class:`RunResult` objects back into its
+  in-memory caches, so follow-up reads (Fig 8 re-reading Fig 7's grid)
+  stay free.
+
+Determinism: a cell's numbers depend only on the harness configuration
+and the cell's seeds, never on which process ran it or in what order —
+``run_grid`` with ``jobs=4``, ``jobs=1`` and a warm cache all return
+identical results (tested in ``tests/test_parallel_cache.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.harness import Harness, WorkloadSpec
+from repro.runtime.metrics import RunResult
+
+__all__ = ["run_grid", "default_jobs", "PARALLEL_ENV"]
+
+#: Environment knob: default worker count of ``run_grid`` (1 = serial).
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+
+def default_jobs() -> int:
+    """The env-configured default parallelism (serial when unset)."""
+    return max(1, int(os.environ.get(PARALLEL_ENV, "1")))
+
+
+#: the per-process harness a worker builds in its initializer
+_WORKER_HARNESS: Optional[Harness] = None
+
+
+def _worker_initialize(payload_bytes: bytes) -> None:
+    """Rebuild board/codec/harness state inside a fresh worker process."""
+    global _WORKER_HARNESS
+    payload = pickle.loads(payload_bytes)
+    cache = None
+    if payload["cache_directory"] is not None:
+        from repro.bench.cache import ResultCache
+
+        cache = ResultCache(
+            payload["cache_directory"], salt=payload["cache_salt"]
+        )
+    harness = Harness(
+        board=payload["board"],
+        repetitions=payload["repetitions"],
+        batches_per_repetition=payload["batches_per_repetition"],
+        profile_batches=payload["profile_batches"],
+        seed=payload["seed"],
+        cache=cache,
+        jobs=1,  # workers never nest process pools
+    )
+    harness.clear_caches()
+    for key, profile in payload["profiles"].items():
+        if profile.fingerprint() != payload["fingerprints"][key]:
+            raise RuntimeError(
+                f"profile {profile.codec_name}-{profile.dataset_name} "
+                "was corrupted in transport to the worker"
+            )
+    harness._profiles.update(payload["profiles"])
+    _WORKER_HARNESS = harness
+
+
+def _run_cell(
+    spec: WorkloadSpec,
+    mechanism: str,
+    repetitions: Optional[int],
+    config_overrides: Dict,
+) -> RunResult:
+    return _WORKER_HARNESS.run(
+        spec, mechanism, repetitions=repetitions, **config_overrides
+    )
+
+
+def _shipping_payload(harness: Harness, specs) -> bytes:
+    """Pickle everything a worker needs to rebuild the harness."""
+    for spec in specs:
+        harness.profile(spec)  # profile-sharing fast path: compute once
+    return pickle.dumps(
+        {
+            "board": harness.board,
+            "repetitions": harness.repetitions,
+            "batches_per_repetition": harness.batches_per_repetition,
+            "profile_batches": harness.profile_batches,
+            "seed": harness.seed,
+            "cache_directory": (
+                str(harness.cache.directory)
+                if harness.cache is not None
+                else None
+            ),
+            "cache_salt": (
+                harness.cache.salt if harness.cache is not None else None
+            ),
+            "profiles": dict(harness._profiles),
+            "fingerprints": {
+                key: profile.fingerprint()
+                for key, profile in harness._profiles.items()
+            },
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def run_grid(
+    harness: Harness,
+    specs: Sequence[WorkloadSpec],
+    mechanisms: Sequence[str],
+    jobs: Optional[int] = None,
+    **config_overrides,
+) -> Dict[Tuple[str, str], RunResult]:
+    """Run a (workload × mechanism) grid, fanning misses out over
+    ``jobs`` worker processes.
+
+    Drop-in equivalent of the serial :meth:`Harness.grid` loop: same
+    return shape, same numbers, and every computed cell lands in the
+    harness's caches.
+    """
+    specs = list(specs)
+    mechanisms = list(mechanisms)
+    jobs = harness.jobs if jobs is None else max(1, jobs)
+    repetitions = config_overrides.pop("repetitions", None)
+
+    results: Dict[Tuple[str, str], RunResult] = {}
+    pending = []
+    for spec in specs:
+        for mechanism in mechanisms:
+            cached = harness.cached_run(
+                spec, mechanism, repetitions, config_overrides
+            )
+            if cached is not None:
+                results[(spec.label, mechanism)] = cached
+            else:
+                pending.append((spec, mechanism))
+
+    if jobs <= 1 or len(pending) <= 1:
+        for spec, mechanism in pending:
+            results[(spec.label, mechanism)] = harness.run(
+                spec, mechanism, repetitions=repetitions, **config_overrides
+            )
+        return results
+
+    payload = _shipping_payload(
+        harness, list(dict.fromkeys(spec for spec, _ in pending))
+    )
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_initialize,
+        initargs=(payload,),
+    ) as pool:
+        futures = {
+            (spec, mechanism): pool.submit(
+                _run_cell, spec, mechanism, repetitions, dict(config_overrides)
+            )
+            for spec, mechanism in pending
+        }
+        for (spec, mechanism), future in futures.items():
+            result = future.result()
+            results[(spec.label, mechanism)] = result
+            harness.store_run(
+                spec, mechanism, repetitions, config_overrides, result
+            )
+    return results

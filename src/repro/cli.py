@@ -12,6 +12,10 @@ Subcommands
 ``simulate``
     Measure a (workload, mechanism) pair on a simulated board and print
     energy / latency / CLCV.
+``bench``
+    Regenerate the paper's tables and figures (same as
+    ``python -m repro.bench``), with ``--jobs N`` process-parallel grid
+    execution and a ``--cache-dir`` persistent result cache.
 ``boards``
     List the available simulated boards.
 """
@@ -77,6 +81,22 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--repetitions", type=int, default=50)
     simulate.add_argument("--gantt", action="store_true",
                           help="print a Gantt chart of the last run")
+
+    bench = commands.add_parser(
+        "bench", help="regenerate the paper's tables and figures"
+    )
+    bench.add_argument("experiment", nargs="?",
+                       help="experiment id, 'all', or 'report' "
+                       "(omit to list)")
+    bench.add_argument("--repetitions", type=int, default=None)
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for grid cells "
+                       "(default: REPRO_PARALLEL, else serial)")
+    bench.add_argument("--cache-dir", default=None,
+                       help="persistent result cache "
+                       "(default: REPRO_CACHE_DIR, else none)")
+    bench.add_argument("--output", default="results.md",
+                       help="report output path (only with 'report')")
 
     commands.add_parser("boards", help="list simulated boards")
     return parser
@@ -188,6 +208,23 @@ def _command_simulate(args) -> int:
     return 0
 
 
+def _command_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = []
+    if args.experiment:
+        argv.append(args.experiment)
+    if args.repetitions is not None:
+        argv += ["--repetitions", str(args.repetitions)]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.output != "results.md":
+        argv += ["--output", args.output]
+    return bench_main(argv)
+
+
 def _command_boards(args) -> int:
     for name, factory in sorted(_BOARDS.items()):
         board = factory()
@@ -204,6 +241,7 @@ def main(argv=None) -> int:
         "decompress": _command_decompress,
         "plan": _command_plan,
         "simulate": _command_simulate,
+        "bench": _command_bench,
         "boards": _command_boards,
     }
     try:

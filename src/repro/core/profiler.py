@@ -16,6 +16,7 @@ Three measurements feed the cost model:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -61,6 +62,19 @@ class WorkloadProfile:
 
     def step_kappa(self, step_id: str) -> float:
         return self.mean_step_costs[step_id].operational_intensity
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the profile.
+
+        Profiles are pickled into the persistent result cache and
+        shipped to grid worker processes (:mod:`repro.bench.parallel`);
+        the fingerprint lets both sides assert that a transported
+        profile is the one that was measured. ``repr`` is deterministic
+        here: every field is a plain scalar, tuple, or dict built in
+        step order.
+        """
+        digest = hashlib.sha256(repr(self).encode("utf-8"))
+        return digest.hexdigest()[:16]
 
 
 def profile_workload(

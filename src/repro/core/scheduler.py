@@ -8,10 +8,15 @@ pipeline stages. Two structural reductions keep it exact *and* small:
   concrete core ids are then assigned deterministically (least-loaded
   core of the cluster first), which is optimal because intra-cluster
   paths all cost c0;
-* the objective and constraints factor over stages given the previous
-  stage's placement, so partial plans are memoized on
-  ``(stage, previous placement, per-core load profile)`` and pruned
-  against the best complete plan's energy.
+* the search is a depth-first branch-and-bound over per-stage cluster
+  splits: a partial plan carries its accumulated energy and per-core
+  load profile, and a branch is cut when that energy plus the sum of
+  the remaining stages' independent per-stage energy minima cannot
+  beat the best complete feasible plan found so far (see
+  :meth:`Scheduler.search` for the exact bounds). There is no memo
+  table — per-core loads are continuous, so distinct prefixes almost
+  never collide; ``plans_evaluated`` counts complete plans reaching
+  evaluation, not pruned branches.
 
 Replication follows the paper's *topologically sorted iterative
 scaling*: start with one replica per stage; while no feasible plan

@@ -100,3 +100,33 @@ class TestBoards:
         assert main(["boards"]) == 0
         output = capsys.readouterr().out
         assert "rk3399" in output and "jetson" in output
+
+
+class TestBench:
+    def test_listing_forwarded(self, capsys):
+        assert main(["bench"]) == 0
+        output = capsys.readouterr().out
+        assert "fig7" in output and "abl_guard" in output
+
+    def test_experiment_with_jobs_and_cache(self, tmp_path, capsys):
+        assert main(
+            [
+                "bench", "fig17",
+                "--repetitions", "2",
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "break-down" in output
+        assert "cache:" in output
+        # Second invocation is served entirely from the persistent cache.
+        assert main(
+            [
+                "bench", "fig17",
+                "--repetitions", "2",
+                "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        assert "4 hits / 4 lookups" in capsys.readouterr().out

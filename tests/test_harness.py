@@ -70,6 +70,28 @@ class TestHarnessCaching:
             ("tcomp32-rovio", "RR"),
         }
 
+    def test_grid_jobs_one_matches_serial_cache(
+        self, small_harness, tcomp32_rovio_spec
+    ):
+        # jobs=1 is the plain serial loop: cells come from (and land in)
+        # the same in-memory cache as direct run() calls.
+        direct = small_harness.run(tcomp32_rovio_spec, "RR", repetitions=2)
+        grid = small_harness.grid(
+            [tcomp32_rovio_spec], ["RR"], jobs=1, repetitions=2
+        )
+        assert grid[("tcomp32-rovio", "RR")] is direct
+
+    def test_clear_caches_forces_recompute_with_equal_numbers(self, board):
+        harness = Harness(
+            board=board, repetitions=2, batches_per_repetition=4,
+            profile_batches=3,
+        )
+        spec = WorkloadSpec.of("tcomp32", "rovio", batch_size=8192)
+        first = harness.run(spec, "RR")
+        harness.clear_caches()
+        second = harness.run(spec, "RR")
+        assert first is not second and first == second
+
 
 class TestFormatTable:
     def test_aligned_columns(self):
