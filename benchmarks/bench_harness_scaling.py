@@ -3,7 +3,9 @@
 Times a small mechanism×workload grid at ``--jobs 1,2,4`` on a cold
 cache, then re-runs it on the warm cache, and writes the trajectory
 record ``BENCH_harness.json`` (cells/sec, speedup vs serial, cache-hit
-rate). Run standalone::
+rate, and a per-phase wall-clock breakdown — profiling vs simulation vs
+cache I/O vs plan search — from :data:`repro.obs.registry.REGISTRY`).
+Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_harness_scaling.py
     PYTHONPATH=src python benchmarks/bench_harness_scaling.py --quick
@@ -27,6 +29,16 @@ import time
 
 from repro.bench.cache import ResultCache
 from repro.bench.harness import Harness, WorkloadSpec
+from repro.obs.registry import REGISTRY, diff_snapshots
+
+#: registry timers whose per-phase totals each run records
+_PHASE_TIMERS = (
+    "harness.profile",
+    "harness.simulate",
+    "cache.get",
+    "cache.put",
+    "scheduler.search",
+)
 
 #: tolerance for "parallel <= serial": scheduling jitter on busy CI boxes
 PARALLEL_SLACK = 1.05
@@ -65,10 +77,27 @@ def fresh_harness(repetitions: int, cache) -> Harness:
 
 def time_grid(specs, mechanisms, repetitions, jobs, cache):
     harness = fresh_harness(repetitions, cache)
+    before = REGISTRY.snapshot()
     started = time.perf_counter()
     results = harness.grid(specs, mechanisms, jobs=jobs)
     elapsed = time.perf_counter() - started
-    return elapsed, results, harness
+    phases = grid_phases(before, REGISTRY.snapshot())
+    return elapsed, results, harness, phases
+
+
+def grid_phases(before, after):
+    """Per-phase wall-clock totals (seconds) a grid spent in this
+    process, from the metrics registry. With ``jobs > 1`` the simulate/
+    profile time runs in worker processes, so only the parent-side
+    phases (cache I/O, promoted profiling) show up — recorded honestly
+    rather than guessed."""
+    delta = diff_snapshots(before, after)
+    timers = delta.get("timers", {})
+    return {
+        name: round(timers[name]["total_s"], 4)
+        for name in _PHASE_TIMERS
+        if name in timers and timers[name]["count"]
+    }
 
 
 def run_scaling(jobs_list, repetitions, quick, output):
@@ -80,11 +109,13 @@ def run_scaling(jobs_list, repetitions, quick, output):
         f"{cells} cells, {repetitions} repetitions, {cpu_count} CPUs"
     )
 
-    serial_seconds, reference, _ = time_grid(
+    serial_seconds, reference, _, serial_phases = time_grid(
         specs, mechanisms, repetitions, jobs=1, cache=None
     )
     print(f"jobs=1 (serial, no cache): {serial_seconds:.2f}s "
           f"({cells / serial_seconds:.1f} cells/s)")
+    for name, seconds in serial_phases.items():
+        print(f"  {name:18s} {seconds:.2f}s")
 
     runs = [
         {
@@ -92,12 +123,13 @@ def run_scaling(jobs_list, repetitions, quick, output):
             "cold_seconds": round(serial_seconds, 4),
             "cells_per_sec": round(cells / serial_seconds, 2),
             "speedup_vs_serial": 1.0,
+            "phases": serial_phases,
         }
     ]
     last_cache_dir = None
     for jobs in [j for j in jobs_list if j > 1]:
         cache_dir = tempfile.mkdtemp(prefix=f"cstream-bench-j{jobs}-")
-        elapsed, results, _ = time_grid(
+        elapsed, results, _, phases = time_grid(
             specs, mechanisms, repetitions, jobs=jobs,
             cache=ResultCache(cache_dir),
         )
@@ -113,6 +145,7 @@ def run_scaling(jobs_list, repetitions, quick, output):
                 "cold_seconds": round(elapsed, 4),
                 "cells_per_sec": round(cells / elapsed, 2),
                 "speedup_vs_serial": round(speedup, 3),
+                "phases": phases,
             }
         )
         last_cache_dir = cache_dir
@@ -124,7 +157,7 @@ def run_scaling(jobs_list, repetitions, quick, output):
 
     warm = None
     if last_cache_dir is not None:
-        warm_seconds, results, harness = time_grid(
+        warm_seconds, results, harness, warm_phases = time_grid(
             specs, mechanisms, repetitions, jobs=max(jobs_list),
             cache=ResultCache(last_cache_dir),
         )
@@ -141,6 +174,7 @@ def run_scaling(jobs_list, repetitions, quick, output):
             "seconds": round(warm_seconds, 4),
             "hit_rate": round(stats.hit_rate, 3),
             "speedup_vs_cold_serial": round(serial_seconds / warm_seconds, 1),
+            "phases": warm_phases,
         }
 
     record = {
@@ -173,6 +207,10 @@ def test_harness_scaling():
             output=os.path.join(scratch, "BENCH_harness.json"),
         )
     assert record["warm_cache"]["hit_rate"] == 1.0
+    # the serial cold run spends real time simulating, and the registry
+    # breakdown in the record shows it
+    assert record["runs"][0]["phases"]["harness.simulate"] > 0
+    assert record["warm_cache"]["phases"].get("cache.get", 0) >= 0
 
 
 def main(argv=None) -> int:

@@ -60,6 +60,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persistent result-cache directory (default: REPRO_CACHE_DIR, "
         "else no persistent cache)",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write a Chrome trace JSON per computed cell into this "
+        "directory (default: REPRO_TRACE_DIR, else no tracing)",
+    )
     return parser
 
 
@@ -67,11 +73,12 @@ def _build_harness(args) -> "Harness | None":
     """One harness shared by every experiment of this invocation, so
     overlapping grids (fig7/fig8) and profiles are computed once.
 
-    Returns None when neither ``--jobs`` nor ``--cache-dir`` was given:
-    experiments then use the process-wide :func:`default_harness` (which
-    still honours ``REPRO_PARALLEL`` / ``REPRO_CACHE_DIR``).
+    Returns None when none of ``--jobs``/``--cache-dir``/``--trace-dir``
+    was given: experiments then use the process-wide
+    :func:`default_harness` (which still honours ``REPRO_PARALLEL`` /
+    ``REPRO_CACHE_DIR`` / ``REPRO_TRACE_DIR``).
     """
-    if args.jobs is None and args.cache_dir is None:
+    if args.jobs is None and args.cache_dir is None and args.trace_dir is None:
         return None
     kwargs = {}
     if args.jobs is not None:
@@ -80,6 +87,8 @@ def _build_harness(args) -> "Harness | None":
         from repro.bench.cache import ResultCache
 
         kwargs["cache"] = ResultCache(args.cache_dir)
+    if args.trace_dir is not None:
+        kwargs["trace_dir"] = args.trace_dir
     return Harness(**kwargs)
 
 

@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.obs.registry import REGISTRY
+
 __all__ = [
     "CACHE_VERSION",
     "CACHE_DIR_ENV",
@@ -49,8 +51,10 @@ __all__ = [
 ]
 
 #: Bump whenever simulator/codec/scheduler behaviour changes in a way
-#: that alters measured numbers; every persisted key is salted with it.
-CACHE_VERSION = "cstream-cache-v1"
+#: that alters measured numbers — or the pickled result schema grows
+#: (v2: RunResult carries an optional TraceSummary); every persisted
+#: key is salted with it.
+CACHE_VERSION = "cstream-cache-v2"
 
 #: Environment variable naming the cache directory; unset = no
 #: persistent cache (the harness keeps its in-memory caches either way).
@@ -111,6 +115,10 @@ class ResultCache:
 
     def get(self, payload: Any) -> Optional[Any]:
         """Load the entry for ``payload``, or None on miss/corruption."""
+        with REGISTRY.timer("cache.get"):
+            return self._get(payload)
+
+    def _get(self, payload: Any) -> Optional[Any]:
         path = self.path_for(self.key(payload))
         try:
             with open(path, "rb") as source:
@@ -133,6 +141,10 @@ class ResultCache:
 
     def put(self, payload: Any, value: Any) -> None:
         """Atomically persist ``value`` under ``payload``'s key."""
+        with REGISTRY.timer("cache.put"):
+            self._put(payload, value)
+
+    def _put(self, payload: Any, value: Any) -> None:
         path = self.path_for(self.key(payload))
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_path = tempfile.mkstemp(

@@ -28,6 +28,7 @@ Conventions:
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -41,11 +42,16 @@ from repro.core.baselines import (
 from repro.core.profiler import WorkloadProfile, profile_workload
 from repro.datasets import get_dataset
 from repro.errors import ConfigurationError
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TraceRecorder
 from repro.runtime.executor import ExecutionConfig, PipelineExecutor
 from repro.runtime.metrics import RunResult
 from repro.simcore.boards import BoardSpec, rk3399
 
 __all__ = ["WorkloadSpec", "Harness", "default_harness", "format_table"]
+
+#: environment variable: write a Chrome trace per computed cell here
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 
 #: paper defaults
 PAPER_LATENCY_CONSTRAINT = 26.0
@@ -124,6 +130,10 @@ class Harness:
     (default: the one named by ``REPRO_CACHE_DIR``, if set; pass ``None``
     to disable). ``jobs`` is the default process-parallelism of
     :meth:`grid` (default: ``REPRO_PARALLEL``, else serial).
+    ``trace_dir`` (default: ``REPRO_TRACE_DIR``, else off) makes every
+    *computed* cell run traced and drop a Chrome trace JSON into that
+    directory — cached cells are served as usual, and the traced numbers
+    are byte-identical to untraced ones so the cache stays valid.
     """
 
     def __init__(
@@ -135,6 +145,7 @@ class Harness:
         seed: int = 0,
         cache=_DEFAULT_CACHE,
         jobs: Optional[int] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.board = board if board is not None else rk3399()
         self.repetitions = repetitions
@@ -147,6 +158,9 @@ class Harness:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_PARALLEL", "1"))
         self.jobs = max(1, jobs)
+        if trace_dir is None:
+            trace_dir = os.environ.get(TRACE_DIR_ENV) or None
+        self.trace_dir = trace_dir
         self._profiles: Dict = {}
         self._contexts: Dict = {}
         self._runs: Dict = {}
@@ -218,15 +232,16 @@ class Harness:
         if key not in self._profiles:
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is None:
-                cached = profile_workload(
-                    spec.make_codec(),
-                    spec.make_dataset(),
-                    spec.batch_size,
-                    batches=max(
-                        self.profile_batches, self.batches_per_repetition
-                    ),
-                    seed=self.seed,
-                )
+                with REGISTRY.timer("harness.profile"):
+                    cached = profile_workload(
+                        spec.make_codec(),
+                        spec.make_dataset(),
+                        spec.batch_size,
+                        batches=max(
+                            self.profile_batches, self.batches_per_repetition
+                        ),
+                        seed=self.seed,
+                    )
                 if self.cache is not None:
                     self.cache.put(key, cached)
             self._profiles[key] = cached
@@ -277,12 +292,15 @@ class Harness:
         repetitions: Optional[int],
         config_overrides: Optional[Mapping],
         result: RunResult,
+        force: bool = False,
     ) -> None:
         """Merge an externally computed cell (e.g. from a worker process)
-        into the in-memory and persistent caches."""
+        into the in-memory and persistent caches. ``force`` overwrites an
+        existing persistent entry (used to upgrade a cached result with a
+        trace summary — the numbers are identical either way)."""
         key = self.run_key(spec, mechanism, repetitions, config_overrides)
         self._runs[key] = result
-        if self.cache is not None and key not in self.cache:
+        if self.cache is not None and (force or key not in self.cache):
             self.cache.put(key, result)
 
     def run(
@@ -297,6 +315,13 @@ class Harness:
         if cached is not None:
             return cached
 
+        if self.trace_dir is not None:
+            result, recorder = self.run_traced(
+                spec, mechanism, repetitions=repetitions, **config_overrides
+            )
+            self._write_trace(spec, mechanism, recorder)
+            return result
+
         context = self.context(spec)
         outcome = get_mechanism(mechanism).prepare(context)
         result = self.run_outcome(
@@ -305,12 +330,64 @@ class Harness:
         self.store_run(spec, mechanism, repetitions, config_overrides, result)
         return result
 
+    def run_traced(
+        self,
+        spec: WorkloadSpec,
+        mechanism: str,
+        repetitions: Optional[int] = None,
+        trace: Optional[TraceRecorder] = None,
+        process_events: bool = False,
+        **config_overrides,
+    ) -> Tuple[RunResult, TraceRecorder]:
+        """Measure one cell with tracing on.
+
+        Always re-simulates (events cannot come from the cache), then
+        stores the result — whose numbers are byte-identical to the
+        untraced run — *with* its :class:`TraceSummary` into both cache
+        layers, upgrading any summary-less entry. Returns the result and
+        the recorder (for export / Gantt rendering).
+        """
+        recorder = trace if trace is not None else TraceRecorder(
+            process_events=process_events
+        )
+        context = self.context(spec)
+        outcome = get_mechanism(mechanism).prepare(context)
+        result = self.run_outcome(
+            spec,
+            outcome,
+            repetitions=repetitions,
+            trace=recorder,
+            **config_overrides,
+        )
+        if outcome.search_stats is not None and result.trace_summary is not None:
+            summary = replace(
+                result.trace_summary,
+                scheduler=outcome.search_stats.as_pairs(),
+            )
+            result = replace(result, trace_summary=summary)
+        self.store_run(
+            spec, mechanism, repetitions, config_overrides, result, force=True
+        )
+        return result, recorder
+
+    def _write_trace(
+        self, spec: WorkloadSpec, mechanism: str, recorder: TraceRecorder
+    ) -> str:
+        """Export a recorder to ``trace_dir`` (one JSON per cell)."""
+        from repro.obs.export import write_chrome_trace
+
+        os.makedirs(self.trace_dir, exist_ok=True)
+        stem = re.sub(r"[^A-Za-z0-9._-]+", "_", f"{spec.label}-{mechanism}")
+        path = os.path.join(self.trace_dir, f"{stem}.trace.json")
+        return write_chrome_trace(recorder, path, board=self.board)
+
     def run_outcome(
         self,
         spec: WorkloadSpec,
         outcome: MechanismOutcome,
         repetitions: Optional[int] = None,
         shared_state_stages=frozenset(),
+        trace: Optional[TraceRecorder] = None,
         **config_overrides,
     ) -> RunResult:
         """Measure an already-prepared mechanism outcome (not cached)."""
@@ -323,15 +400,16 @@ class Harness:
         }
         config_kwargs.update(config_overrides)
         config = ExecutionConfig(**config_kwargs)
-        executor = PipelineExecutor(self.board, config)
+        executor = PipelineExecutor(self.board, config, trace=trace)
         per_batch = self._window(profile, config.batches_per_repetition)
-        return executor.run(
-            outcome.plan,
-            per_batch,
-            profile.batch_size_bytes,
-            dynamics=outcome.dynamics,
-            shared_state_stages=shared_state_stages,
-        )
+        with REGISTRY.timer("harness.simulate"):
+            return executor.run(
+                outcome.plan,
+                per_batch,
+                profile.batch_size_bytes,
+                dynamics=outcome.dynamics,
+                shared_state_stages=shared_state_stages,
+            )
 
     def _window(self, profile: WorkloadProfile, batches: Optional[int] = None) -> List:
         batches = batches or self.batches_per_repetition

@@ -12,10 +12,15 @@ Subcommands
 ``simulate``
     Measure a (workload, mechanism) pair on a simulated board and print
     energy / latency / CLCV.
+``trace``
+    Run one (workload, mechanism) cell with structured tracing on and
+    write a Chrome trace-event / Perfetto JSON plus a summary table
+    (context switches/MB, migrations, DVFS transitions, occupancy).
 ``bench``
     Regenerate the paper's tables and figures (same as
     ``python -m repro.bench``), with ``--jobs N`` process-parallel grid
-    execution and a ``--cache-dir`` persistent result cache.
+    execution, a ``--cache-dir`` persistent result cache and a
+    ``--trace-dir`` that traces every computed cell.
 ``boards``
     List the available simulated boards.
 """
@@ -39,6 +44,21 @@ from repro.simcore.boards import jetson_tx2_like, rk3399
 __all__ = ["main"]
 
 _BOARDS = {"rk3399": rk3399, "jetson": jetson_tx2_like}
+
+#: representative cells for ``cstream trace <experiment>`` — the
+#: (codec, dataset) whose fig7/8-style measurements the figure leans on
+_EXPERIMENT_CELLS = {
+    "fig7": ("tcomp32", "rovio"),
+    "fig8": ("tcomp32", "rovio"),
+    "fig10": ("tcomp32", "sensor"),
+    "fig11": ("tcomp32", "rovio"),
+    "fig12": ("tcomp32", "stock"),
+    "fig13": ("lz4", "rovio"),
+    "fig14": ("tdic32", "rovio"),
+    "fig15": ("tcomp32", "rovio"),
+    "fig16": ("tcomp32", "rovio"),
+    "fig17": ("tcomp32", "rovio"),
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,6 +102,33 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--gantt", action="store_true",
                           help="print a Gantt chart of the last run")
 
+    trace = commands.add_parser(
+        "trace",
+        help="trace one simulated cell and write Chrome/Perfetto JSON",
+    )
+    trace.add_argument(
+        "target", nargs="+",
+        help="'CODEC DATASET' (e.g. tcomp32 rovio) or an experiment "
+        f"id with a representative cell ({', '.join(sorted(_EXPERIMENT_CELLS))})",
+    )
+    trace.add_argument("--mechanism", choices=MECHANISM_NAMES,
+                       default="CStream")
+    trace.add_argument("--board", choices=sorted(_BOARDS), default="rk3399")
+    trace.add_argument("--latency-constraint", type=float, default=26.0)
+    trace.add_argument("--repetitions", type=int, default=1)
+    trace.add_argument("--batch-bytes", type=int, default=None,
+                       help="override the workload's batch size")
+    trace.add_argument("--governor", default=None,
+                       help="override the DVFS governor "
+                       "(e.g. 'ondemand' to see transitions)")
+    trace.add_argument("--out", default=None,
+                       help="trace JSON path (default: <cell>.trace.json)")
+    trace.add_argument("--process-events", action="store_true",
+                       help="also record engine process resume/end "
+                       "instants (verbose)")
+    trace.add_argument("--gantt", action="store_true",
+                       help="print a Gantt chart of the traced run")
+
     bench = commands.add_parser(
         "bench", help="regenerate the paper's tables and figures"
     )
@@ -95,6 +142,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache-dir", default=None,
                        help="persistent result cache "
                        "(default: REPRO_CACHE_DIR, else none)")
+    bench.add_argument("--trace-dir", default=None,
+                       help="write a Chrome trace JSON per computed "
+                       "cell (default: REPRO_TRACE_DIR, else none)")
     bench.add_argument("--output", default="results.md",
                        help="report output path (only with 'report')")
 
@@ -208,6 +258,62 @@ def _command_simulate(args) -> int:
     return 0
 
 
+def _resolve_trace_cell(target):
+    """``['fig7']`` or ``['tcomp32', 'rovio']`` → (codec, dataset)."""
+    if len(target) == 1:
+        alias = target[0].lower()
+        if alias in _EXPERIMENT_CELLS:
+            return _EXPERIMENT_CELLS[alias]
+        raise ReproError(
+            f"unknown experiment {target[0]!r}; pass CODEC DATASET or one "
+            f"of: {', '.join(sorted(_EXPERIMENT_CELLS))}"
+        )
+    if len(target) == 2:
+        codec, dataset = target
+        if codec not in CODEC_NAMES:
+            raise ReproError(f"unknown codec {codec!r}")
+        if dataset not in DATASET_NAMES:
+            raise ReproError(f"unknown dataset {dataset!r}")
+        return codec, dataset
+    raise ReproError("trace takes one experiment id or 'CODEC DATASET'")
+
+
+def _command_trace(args) -> int:
+    from repro.obs.export import write_chrome_trace
+
+    codec, dataset = _resolve_trace_cell(args.target)
+    board = _BOARDS[args.board]()
+    harness = Harness(board=board, repetitions=args.repetitions)
+    spec_overrides = {"latency_constraint": args.latency_constraint}
+    if args.batch_bytes is not None:
+        spec_overrides["batch_size"] = args.batch_bytes
+    spec = WorkloadSpec.of(codec, dataset, **spec_overrides)
+    config_overrides = {}
+    if args.governor is not None:
+        config_overrides["governor"] = args.governor
+    result, recorder = harness.run_traced(
+        spec,
+        args.mechanism,
+        repetitions=args.repetitions,
+        process_events=args.process_events,
+        **config_overrides,
+    )
+    out = args.out or f"{spec.label}-{args.mechanism}.trace.json"
+    write_chrome_trace(recorder, out, board=board)
+    print(f"{args.mechanism} on {spec.label} ({board.name}):")
+    print(f"  energy:  {result.mean_energy_uj_per_byte:.3f} µJ/byte")
+    print(f"  latency: {result.mean_latency_us_per_byte:.2f} µs/byte")
+    print()
+    print(result.trace_summary.format(board=board))
+    print()
+    print(f"wrote {len(recorder.events)} events to {out} "
+          "(open in https://ui.perfetto.dev or chrome://tracing)")
+    if args.gantt:
+        print()
+        print(render_gantt(recorder, board))
+    return 0
+
+
 def _command_bench(args) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -220,6 +326,8 @@ def _command_bench(args) -> int:
         argv += ["--jobs", str(args.jobs)]
     if args.cache_dir is not None:
         argv += ["--cache-dir", args.cache_dir]
+    if args.trace_dir is not None:
+        argv += ["--trace-dir", args.trace_dir]
     if args.output != "results.md":
         argv += ["--output", args.output]
     return bench_main(argv)
@@ -241,6 +349,7 @@ def main(argv=None) -> int:
         "decompress": _command_decompress,
         "plan": _command_plan,
         "simulate": _command_simulate,
+        "trace": _command_trace,
         "bench": _command_bench,
         "boards": _command_boards,
     }

@@ -138,6 +138,8 @@ class MechanismOutcome:
     scheduled_feasible: bool = True
     estimate: Optional[object] = None  # PlanEstimate when model-guided
     description: str = ""
+    #: SearchStats of the plan search (None for search-free mechanisms)
+    search_stats: Optional[object] = None
 
 
 class Mechanism(abc.ABC):
@@ -198,6 +200,7 @@ class CStreamMechanism(Mechanism):
             scheduled_feasible=result.feasible,
             estimate=result.estimate,
             description=result.plan.describe(),
+            search_stats=result.search_stats,
         )
 
 
@@ -217,6 +220,7 @@ class CoarseGrainedMechanism(Mechanism):
             scheduled_feasible=result.feasible,
             estimate=result.estimate,
             description=result.plan.describe(),
+            search_stats=result.search_stats,
         )
 
 
@@ -377,6 +381,7 @@ class AsymmetricComputationAblation(Mechanism):
             scheduled_feasible=result.feasible,
             estimate=result.estimate,
             description=result.plan.describe(),
+            search_stats=result.search_stats,
         )
 
 

@@ -28,16 +28,46 @@ core saturation.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.cost_model import CostModel
 from repro.core.plan import PlanEstimate, SchedulingPlan
 from repro.core.task import TaskGraph
 from repro.errors import InfeasiblePlanError
+from repro.obs.registry import REGISTRY
 from repro.simcore.hardware import CoreType
 
-__all__ = ["Scheduler", "ScheduleResult"]
+__all__ = ["Scheduler", "ScheduleResult", "SearchStats"]
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Instrumentation of one :meth:`Scheduler.schedule` invocation.
+
+    ``nodes_expanded`` counts per-stage split branches the depth-first
+    walk actually descended into; ``branches_pruned`` counts branches
+    cut by the energy-floor / latency bound; ``plans_evaluated`` counts
+    complete plans reaching cost-model evaluation; ``scaling_rounds``
+    counts iterative-scaling restarts; ``wall_clock_s`` is real time.
+    """
+
+    nodes_expanded: int = 0
+    branches_pruned: int = 0
+    plans_evaluated: int = 0
+    scaling_rounds: int = 0
+    wall_clock_s: float = 0.0
+
+    def as_pairs(self) -> Tuple[Tuple[str, float], ...]:
+        """(name, value) pairs for trace summaries and reports."""
+        return (
+            ("nodes_expanded", float(self.nodes_expanded)),
+            ("branches_pruned", float(self.branches_pruned)),
+            ("plans_evaluated", float(self.plans_evaluated)),
+            ("scaling_rounds", float(self.scaling_rounds)),
+            ("wall_clock_s", self.wall_clock_s),
+        )
 
 
 @dataclass(frozen=True)
@@ -48,6 +78,8 @@ class ScheduleResult:
     replica_counts: Tuple[int, ...]
     plans_evaluated: int
     feasible: bool
+    #: search instrumentation (None only for hand-built results)
+    search_stats: Optional[SearchStats] = field(default=None, compare=False)
 
     @property
     def plan(self) -> SchedulingPlan:
@@ -65,6 +97,10 @@ class Scheduler:
         self.max_replicas_per_stage = max_replicas_per_stage
         self._little = list(self.board.little_core_ids)
         self._big = list(self.board.big_core_ids)
+        #: instrumentation of the most recent :meth:`search` call
+        self.last_search_counters: Dict[str, int] = {
+            "expanded": 0, "pruned": 0, "evaluated": 0,
+        }
 
     # -- placement enumeration ---------------------------------------------
 
@@ -115,7 +151,11 @@ class Scheduler:
         Returns ``(best_feasible, min_latency, plans_evaluated)`` — the
         energy optimum among feasible plans (or None) and the
         latency-minimizing plan (used to locate the bottleneck stage for
-        iterative scaling).
+        iterative scaling). After each call,
+        :attr:`last_search_counters` holds the walk's instrumentation
+        (``expanded`` branches descended, ``pruned`` branches cut,
+        ``evaluated`` complete plans); :meth:`schedule` aggregates them
+        into a :class:`SearchStats`.
         """
         graph = self.model.graph
         stage_splits = [
@@ -145,6 +185,8 @@ class Scheduler:
             "best": None,       # best feasible estimate
             "fastest": None,    # min-latency estimate
             "evaluated": 0,
+            "expanded": 0,      # branches descended into
+            "pruned": 0,        # branches cut by the bounds
         }
 
         def consider(assignments: List[Tuple[int, ...]]) -> None:
@@ -197,7 +239,9 @@ class Scheduler:
                     max(load.values(), default=0.0)
                     >= state["fastest"].latency_us_per_byte
                 ):
+                    state["pruned"] += 1
                     continue
+                state["expanded"] += 1
                 new_load = dict(load)
                 for core in cores:
                     new_load[core] = new_load.get(
@@ -208,6 +252,11 @@ class Scheduler:
                 assignments.pop()
 
         walk(0, [], {}, 0.0)
+        self.last_search_counters = {
+            "expanded": state["expanded"],
+            "pruned": state["pruned"],
+            "evaluated": state["evaluated"],
+        }
         return state["best"], state["fastest"], state["evaluated"]
 
     # -- iterative scaling ------------------------------------------------------
@@ -223,6 +272,10 @@ class Scheduler:
         graph = self.model.graph
         replica_counts = [1] * graph.stage_count
         total_evaluated = 0
+        total_expanded = 0
+        total_pruned = 0
+        scaling_rounds = 0
+        search_started = time.perf_counter()
         fallback: Optional[PlanEstimate] = None
         best_overall: Optional[PlanEstimate] = None
         best_counts: Optional[Tuple[int, ...]] = None
@@ -231,6 +284,9 @@ class Scheduler:
         while True:
             best, min_latency, evaluated = self.search(tuple(replica_counts))
             total_evaluated += evaluated
+            total_expanded += self.last_search_counters["expanded"]
+            total_pruned += self.last_search_counters["pruned"]
+            scaling_rounds += 1
             if min_latency is not None:
                 if fallback is None or (
                     min_latency.latency_us_per_byte
@@ -271,12 +327,28 @@ class Scheduler:
                     break
             replica_counts[bottleneck] += 1
 
+        stats = SearchStats(
+            nodes_expanded=total_expanded,
+            branches_pruned=total_pruned,
+            plans_evaluated=total_evaluated,
+            scaling_rounds=scaling_rounds,
+            wall_clock_s=time.perf_counter() - search_started,
+        )
+        # Publish to the process-wide metrics registry so the harness
+        # and benches can report aggregate search effort.
+        REGISTRY.inc("scheduler.schedules")
+        REGISTRY.inc("scheduler.plans_evaluated", total_evaluated)
+        REGISTRY.inc("scheduler.nodes_expanded", total_expanded)
+        REGISTRY.inc("scheduler.branches_pruned", total_pruned)
+        REGISTRY.observe("scheduler.search", stats.wall_clock_s)
+
         if best_overall is not None:
             return ScheduleResult(
                 estimate=best_overall,
                 replica_counts=best_counts,
                 plans_evaluated=total_evaluated,
                 feasible=True,
+                search_stats=stats,
             )
         if best_effort and fallback is not None:
             return ScheduleResult(
@@ -286,6 +358,7 @@ class Scheduler:
                 ),
                 plans_evaluated=total_evaluated,
                 feasible=False,
+                search_stats=stats,
             )
         raise InfeasiblePlanError(
             f"no plan meets {self.model.latency_constraint_us_per_byte:.2f} "

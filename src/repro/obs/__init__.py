@@ -1,0 +1,50 @@
+"""Observability layer over the simulator and the experiment harness.
+
+The paper's headline diagnostics are *event-level* claims — ~60 000
+context switches per compressed MB under the OS baseline vs ~10 under
+CStream, ondemand DVFS thrashing between levels, fusion winning exactly
+when ``l_comm > l_comp``. This package makes those mechanisms visible
+the way CStream's own perf-based profiling and INA226 sampling did on
+real hardware:
+
+* :class:`~repro.obs.trace.TraceRecorder` — structured span / instant /
+  counter events hooked into the DES engine, the pipeline executor, the
+  DVFS governors, the EAS placement model and the energy meter. Tracing
+  defaults *off* and never perturbs a simulated number: every hook is a
+  guarded read-only observer (``if trace is not None``), so a traced run
+  is byte-identical to an untraced one.
+* :class:`~repro.obs.trace.TraceSummary` — the compact per-run digest
+  (context switches/MB, migrations, DVFS transitions, per-core
+  occupancy, queue-depth highwater) attached to
+  :class:`~repro.runtime.metrics.RunResult` and cacheable alongside it.
+* :mod:`~repro.obs.export` — Chrome trace-event / Perfetto JSON export
+  (open the file in https://ui.perfetto.dev or ``chrome://tracing``).
+* :mod:`~repro.obs.registry` — a process-wide metrics registry (wall
+  clock timers + counters) used by the scheduler search, the result
+  cache and the harness to expose where *real* time goes.
+* :mod:`~repro.obs.check` — a dependency-free validator for the
+  exported trace files (used by CI on the traced smoke run).
+"""
+
+from repro.obs.registry import REGISTRY, MetricsRegistry, diff_snapshots
+from repro.obs.trace import (
+    TraceEvent,
+    TraceRecorder,
+    TraceSummary,
+    active_recorder,
+    set_active_recorder,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
+
+__all__ = [
+    "MetricsRegistry",
+    "REGISTRY",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSummary",
+    "active_recorder",
+    "chrome_trace",
+    "diff_snapshots",
+    "set_active_recorder",
+    "write_chrome_trace",
+]

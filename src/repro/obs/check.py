@@ -1,0 +1,119 @@
+"""Validate an exported trace file against the trace-event schema.
+
+Dependency-free checker for the Chrome trace-event JSON written by
+:func:`repro.obs.export.write_chrome_trace` — CI runs it on the traced
+smoke cell before uploading the trace as an artifact::
+
+    python -m repro.obs.check trace.json
+
+Exit status 0 means the file is a loadable trace with well-formed
+events; 1 lists every violation found. The checks mirror what Perfetto
+and ``chrome://tracing`` require to render the file: known phases,
+numeric non-negative timestamps/durations, integer pid/tid, args of the
+right shape per phase.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import sys
+from typing import Any, List
+
+__all__ = ["validate_trace", "main"]
+
+#: phases the exporter emits (subset of the full trace-event spec)
+_KNOWN_PHASES = {"X", "i", "C", "M"}
+_METADATA_NAMES = {"process_name", "thread_name"}
+
+
+def _check_event(index: int, event: Any, problems: List[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        problems.append(f"{where}: not an object")
+        return
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{where}: missing/empty 'name'")
+    phase = event.get("ph")
+    if phase not in _KNOWN_PHASES:
+        problems.append(f"{where}: unknown phase {phase!r}")
+        return
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            problems.append(f"{where}: '{key}' must be an integer")
+    if phase == "M":
+        if name not in _METADATA_NAMES:
+            problems.append(f"{where}: unexpected metadata event {name!r}")
+        args = event.get("args")
+        if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+            problems.append(f"{where}: metadata needs args.name string")
+        return
+    ts = event.get("ts")
+    if not isinstance(ts, numbers.Real) or isinstance(ts, bool) or ts < 0:
+        problems.append(f"{where}: 'ts' must be a non-negative number")
+    if phase == "X":
+        dur = event.get("dur")
+        if (
+            not isinstance(dur, numbers.Real)
+            or isinstance(dur, bool)
+            or dur < 0
+        ):
+            problems.append(f"{where}: complete event needs 'dur' >= 0")
+    if phase == "C":
+        args = event.get("args")
+        if not isinstance(args, dict) or not args:
+            problems.append(f"{where}: counter event needs non-empty args")
+        elif not all(
+            isinstance(value, numbers.Real) and not isinstance(value, bool)
+            for value in args.values()
+        ):
+            problems.append(f"{where}: counter args must be numeric")
+    if phase == "i" and event.get("s") not in (None, "t", "p", "g"):
+        problems.append(f"{where}: instant scope must be one of t/p/g")
+
+
+def validate_trace(payload: Any) -> List[str]:
+    """All schema violations in a parsed trace object (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level: expected an object with 'traceEvents'"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: 'traceEvents' must be an array"]
+    if not events:
+        problems.append("top level: 'traceEvents' is empty")
+    for index, event in enumerate(events):
+        _check_event(index, event, problems)
+    if not any(
+        isinstance(e, dict) and e.get("ph") not in (None, "M") for e in events
+    ):
+        problems.append("top level: no non-metadata events recorded")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.check TRACE.json", file=sys.stderr)
+        return 2
+    path = argv[0]
+    try:
+        with open(path, "r", encoding="utf-8") as source:
+            payload = json.load(source)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: unreadable trace: {error}", file=sys.stderr)
+        return 1
+    problems = validate_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        print(f"{path}: INVALID ({len(problems)} problems)", file=sys.stderr)
+        return 1
+    events = payload["traceEvents"]
+    print(f"{path}: OK ({len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

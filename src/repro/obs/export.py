@@ -1,0 +1,134 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+The exported file follows the "JSON Array Format with metadata" of the
+Trace Event Format spec: a top-level object with ``traceEvents`` (the
+event array), ``displayTimeUnit`` and an ``otherData`` bag carrying the
+run's :class:`~repro.obs.trace.TraceSummary`. Open it at
+https://ui.perfetto.dev or ``chrome://tracing``.
+
+Mapping choices:
+
+* event timestamps are simulated microseconds, which is exactly the
+  unit the format expects (``ts``/``dur`` are µs);
+* each repetition is one *process* (``pid``), named via ``M`` metadata
+  events, so repeated measurements stack as separate process groups;
+* each core is one *thread* (``tid``) named from the board spec
+  (``core 4 A72 (big)``); synthetic tracks (governor, OS scheduler,
+  runtime) get names too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import (
+    TID_GOVERNOR,
+    TID_OS_SCHED,
+    TID_RUNTIME,
+    TraceRecorder,
+)
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_SYNTHETIC_TRACKS = {
+    TID_GOVERNOR: "dvfs governor",
+    TID_OS_SCHED: "os scheduler",
+    TID_RUNTIME: "runtime",
+}
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def chrome_trace(recorder: TraceRecorder, board=None) -> Dict[str, Any]:
+    """Render a recorder as a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = []
+    pids = sorted({event.pid for event in recorder.events}) or [0]
+    tids = sorted({event.tid for event in recorder.events})
+
+    thread_names = dict(_SYNTHETIC_TRACKS)
+    if board is not None:
+        for core in board.cores:
+            kind = "big" if core.is_big else "little"
+            thread_names[core.core_id] = (
+                f"core {core.core_id} {core.model} ({kind})"
+            )
+
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repetition {pid}"},
+            }
+        )
+        for tid in tids:
+            name = thread_names.get(tid, f"track {tid}")
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+
+    for event in recorder.events:
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "ph": event.phase,
+            "ts": event.ts_us,
+            "pid": event.pid,
+            "tid": event.tid,
+            "cat": event.category,
+        }
+        if event.phase == "X":
+            record["dur"] = event.dur_us
+        if event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        if event.phase == "C":
+            # Counter events draw their series from args.
+            args = dict(event.args)
+            record["args"] = {"value": _json_safe(args.get("value", 0))}
+        elif event.args:
+            record["args"] = {
+                key: _json_safe(value) for key, value in event.args
+            }
+        events.append(record)
+
+    summary = recorder.summary()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "context_switches_per_mb": summary.context_switches_per_mb,
+            "migrations": summary.migrations,
+            "dvfs_transitions": summary.dvfs_transitions,
+            "queue_depth_highwater": summary.queue_depth_highwater,
+            "repetitions": summary.repetitions,
+            "bytes_processed": summary.bytes_processed,
+        },
+    }
+
+
+def write_chrome_trace(
+    recorder: TraceRecorder, path: str, board=None, indent: Optional[int] = None
+) -> str:
+    """Write the recorder to ``path`` as Chrome trace JSON; returns path."""
+    payload = chrome_trace(recorder, board=board)
+    with open(path, "w", encoding="utf-8") as sink:
+        json.dump(payload, sink, indent=indent)
+        sink.write("\n")
+    return path

@@ -1,0 +1,129 @@
+"""Process-wide metrics registry: wall-clock timers and counters.
+
+Where :mod:`repro.obs.trace` observes *simulated* time, the registry
+observes *real* time and work volume — where a bench invocation actually
+spends its seconds (profiling vs DES simulation vs cache I/O vs plan
+search) and how much the scheduler search expands and prunes. The
+instrumented hot paths (:meth:`ResultCache.get`/``put``,
+:meth:`Harness.profile`, the executor run inside :meth:`Harness.run`,
+:meth:`Scheduler.schedule`) feed the shared :data:`REGISTRY`;
+``benchmarks/bench_harness_scaling.py`` snapshots it around each phase
+to write the per-phase breakdown into ``BENCH_harness.json``.
+
+The registry is intentionally tiny: counters are plain floats, timers
+accumulate ``(count, total, min, max)``. Everything is guarded by one
+lock so harness threads can share it; parallel *worker processes* have
+their own registry (their time shows up in the parent only as grid
+wall-clock — the JSON records this honestly).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+__all__ = ["MetricsRegistry", "REGISTRY", "diff_snapshots"]
+
+
+class MetricsRegistry:
+    """Named counters and wall-clock timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        # name -> [count, total_s, min_s, max_s]
+        self._timers: Dict[str, list] = {}
+
+    # -- counters ------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    # -- timers --------------------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            entry = self._timers.get(name)
+            if entry is None:
+                self._timers[name] = [1, seconds, seconds, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+                entry[2] = min(entry[2], seconds)
+                entry[3] = max(entry[3], seconds)
+
+    @contextmanager
+    def timer(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - started)
+
+    def timer_total(self, name: str) -> float:
+        with self._lock:
+            entry = self._timers.get(name)
+            return entry[1] if entry else 0.0
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Copy of all metrics: ``{"counters": {...}, "timers": {...}}``.
+
+        Timer entries are dicts with ``count``/``total_s``/``min_s``/
+        ``max_s``. Snapshots are plain data, safe to JSON-serialize and
+        to diff with :func:`diff_snapshots`.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    name: {
+                        "count": entry[0],
+                        "total_s": entry[1],
+                        "min_s": entry[2],
+                        "max_s": entry[3],
+                    }
+                    for name, entry in self._timers.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+
+
+def diff_snapshots(
+    before: Optional[Dict[str, Dict]], after: Dict[str, Dict]
+) -> Dict[str, Dict]:
+    """What happened between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Counters subtract; timers subtract ``count``/``total_s`` (min/max are
+    dropped — they are not meaningful for an interval).
+    """
+    before = before or {"counters": {}, "timers": {}}
+    counters = {}
+    for name, value in after["counters"].items():
+        delta = value - before["counters"].get(name, 0.0)
+        if delta:
+            counters[name] = delta
+    timers = {}
+    for name, entry in after["timers"].items():
+        previous = before["timers"].get(name, {"count": 0, "total_s": 0.0})
+        count = entry["count"] - previous["count"]
+        total = entry["total_s"] - previous["total_s"]
+        if count:
+            timers[name] = {"count": count, "total_s": total}
+    return {"counters": counters, "timers": timers}
+
+
+#: the shared default registry (what the instrumented code paths use)
+REGISTRY = MetricsRegistry()

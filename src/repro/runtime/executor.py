@@ -19,11 +19,20 @@ discrete-event simulation:
 Measured compressing latency of a batch is the pipeline's steady-state
 inter-departure period normalized by the batch size (µs/byte), which is
 exactly what Eq 2's ``L_est = max(l_i)`` predicts.
+
+Observability: construct with ``trace=TraceRecorder()`` and the executor
+emits task service spans, context-switch/migration counters, batch
+boundaries, fault injections, DVFS transitions, queue depths and energy
+samples as the DES runs, then attaches a
+:class:`~repro.obs.trace.TraceSummary` to the returned
+:class:`RunResult`. Tracing is strictly read-only — it consumes no RNG
+draws and schedules no events — so a traced run's numbers are
+byte-identical to an untraced run's (tests assert this).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -31,6 +40,7 @@ import numpy as np
 from repro.compression.base import StepCost
 from repro.core.plan import SchedulingPlan
 from repro.errors import ConfigurationError
+from repro.obs.trace import TraceRecorder, set_active_recorder
 from repro.runtime.metrics import BatchMetrics, RepetitionResult, RunResult
 from repro.simcore.boards import BoardSpec
 from repro.simcore.dvfs import Governor, StaticGovernor, get_governor
@@ -124,13 +134,18 @@ class _CoreServer:
         frequency_mhz: float,
         meter: EnergyMeter,
         switch_instructions: float,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.simulator = simulator
         self.core = core_spec
         self.frequency_mhz = frequency_mhz
         self.meter = meter
         self.switch_instructions = switch_instructions
-        self.requests = Store(simulator)
+        self.trace = trace
+        self.requests = Store(
+            simulator,
+            name=f"core{core_spec.core_id}.runq" if trace is not None else None,
+        )
         self.busy_us = 0.0
         self.energy_by_batch: Dict[int, float] = {}
         self.spans: List = []  # (task_name, batch, start_us, end_us)
@@ -165,12 +180,22 @@ class _CoreServer:
                 self.meter.record_overhead(switch_energy)
                 self.busy_us += switch_us
                 yield self.simulator.timeout(switch_us)
+                if self.trace is not None:
+                    self.trace.context_switch(
+                        self.core.core_id, 1.0, self.simulator.now,
+                        duration_us=switch_us,
+                    )
             self._last_task = task_name
             start = self.simulator.now
             yield self.simulator.timeout(duration)
             self.spans.append(
                 (task_name, batch_index, start, self.simulator.now)
             )
+            if self.trace is not None:
+                self.trace.span(
+                    task_name, self.core.core_id, start, self.simulator.now,
+                    batch=batch_index,
+                )
             mean_power = energy_uj / duration if duration > 0 else 0.0
             energy = self.meter.record_busy(
                 self.core.core_id, start, duration, mean_power
@@ -188,11 +213,21 @@ class PipelineExecutor:
     After a run, :attr:`last_trace` holds the final repetition's
     execution trace: ``{core_id: [(task, batch, start_us, end_us), ...]}``
     — the raw material for Gantt rendering and occupancy debugging.
+
+    ``trace`` attaches a :class:`~repro.obs.trace.TraceRecorder`; the
+    run then also emits structured events (see the module docstring) and
+    the returned :class:`RunResult` carries a ``trace_summary``.
     """
 
-    def __init__(self, board: BoardSpec, config: ExecutionConfig) -> None:
+    def __init__(
+        self,
+        board: BoardSpec,
+        config: ExecutionConfig,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
         self.board = board
         self.config = config
+        self.trace = trace
         self.last_trace: Dict[int, List] = {}
 
     # -- public API ---------------------------------------------------------
@@ -207,33 +242,54 @@ class PipelineExecutor:
     ) -> RunResult:
         """Measure a plan (or a per-repetition plan factory) repeatedly."""
         repetition_results = []
-        for repetition in range(self.config.repetitions):
-            rng = np.random.default_rng(self.config.seed + 7919 * repetition)
-            current_plan = plan(repetition, rng) if callable(plan) else plan
-            governor = self._make_governor()
-            batches = self._run_once(
-                current_plan,
-                per_batch_step_costs,
-                batch_bytes,
-                rng,
-                governor,
-                dynamics,
-                shared_state_stages,
-            )
-            measured = batches[self.config.warmup_batches:]
-            latency = float(np.mean([b.latency_us_per_byte for b in measured]))
-            energy = float(np.mean([b.energy_uj_per_byte for b in measured]))
-            repetition_results.append(
-                RepetitionResult(
-                    repetition=repetition,
-                    batches=tuple(batches),
-                    latency_us_per_byte=latency,
-                    energy_uj_per_byte=energy,
-                    violated=latency > self.config.latency_constraint_us_per_byte,
-                    plan_description=current_plan.describe(),
+        if self.trace is not None:
+            # Publish the recorder so instrumentation points that plan
+            # providers reach without a trace argument (eas_place) can
+            # report; untraced runs never touch the ambient slot.
+            set_active_recorder(self.trace)
+        try:
+            for repetition in range(self.config.repetitions):
+                rng = np.random.default_rng(
+                    self.config.seed + 7919 * repetition
                 )
-            )
-        return RunResult(repetitions=tuple(repetition_results))
+                if self.trace is not None:
+                    self.trace.begin_repetition(repetition)
+                current_plan = plan(repetition, rng) if callable(plan) else plan
+                governor = self._make_governor()
+                batches = self._run_once(
+                    current_plan,
+                    per_batch_step_costs,
+                    batch_bytes,
+                    rng,
+                    governor,
+                    dynamics,
+                    shared_state_stages,
+                )
+                measured = batches[self.config.warmup_batches:]
+                latency = float(
+                    np.mean([b.latency_us_per_byte for b in measured])
+                )
+                energy = float(
+                    np.mean([b.energy_uj_per_byte for b in measured])
+                )
+                repetition_results.append(
+                    RepetitionResult(
+                        repetition=repetition,
+                        batches=tuple(batches),
+                        latency_us_per_byte=latency,
+                        energy_uj_per_byte=energy,
+                        violated=latency
+                        > self.config.latency_constraint_us_per_byte,
+                        plan_description=current_plan.describe(),
+                    )
+                )
+        finally:
+            if self.trace is not None:
+                set_active_recorder(None)
+        result = RunResult(repetitions=tuple(repetition_results))
+        if self.trace is not None:
+            result = replace(result, trace_summary=self.trace.summary())
+        return result
 
     def run_single(
         self,
@@ -287,8 +343,13 @@ class PipelineExecutor:
             for costs in per_batch_step_costs
         ]
 
-        simulator = Simulator()
-        meter = EnergyMeter(board)
+        trace = self.trace
+        simulator = Simulator(trace=trace)
+        meter = EnergyMeter(
+            board, trace=trace, clock=(lambda: simulator.now)
+        )
+        if trace is not None:
+            governor.attach_trace(trace, lambda: simulator.now)
         servers = {
             core.core_id: _CoreServer(
                 simulator,
@@ -296,6 +357,7 @@ class PipelineExecutor:
                 governor.frequency_of(core.core_id),
                 meter,
                 board.context_switch_instructions,
+                trace=trace,
             )
             for core in board.cores
         }
@@ -321,8 +383,19 @@ class PipelineExecutor:
             )
             stage_inputs.append(
                 [
-                    [Store(simulator, capacity=1) for _ in range(producer_count)]
-                    for _ in cores
+                    [
+                        Store(
+                            simulator,
+                            capacity=1,
+                            name=(
+                                f"q.s{stage_index}r{replica}.p{producer}"
+                                if trace is not None
+                                else None
+                            ),
+                        )
+                        for producer in range(producer_count)
+                    ]
+                    for replica in range(len(cores))
                 ]
             )
         completions: Dict[int, float] = {}
@@ -348,6 +421,10 @@ class PipelineExecutor:
                     servers[fault.core_id].frequency_mhz,
                     fault.frequency_mhz,
                 )
+                if trace is not None:
+                    trace.fault(
+                        fault.core_id, simulator.now, fault.frequency_mhz
+                    )
             now = simulator.now
             elapsed = now - previous_time[0]
             if elapsed <= 0.0:
@@ -432,6 +509,8 @@ class PipelineExecutor:
                         * dynamics.migration_latency_fraction
                         * power
                     )
+                    if trace is not None:
+                        trace.migration(core_id, simulator.now)
                 extra_switches = (
                     (batch_bytes / replicas) / 1024.0
                     * dynamics.context_switches_per_kb
@@ -449,6 +528,10 @@ class PipelineExecutor:
                             _SWITCH_KAPPA, server.frequency_mhz
                         )
                     )
+                    if trace is not None:
+                        trace.context_switch(
+                            core_id, extra_switches, simulator.now
+                        )
                 duration += pending_stall.pop(core_id, 0.0)
                 lock = stage_locks.get(stage_index)
                 if lock is not None:
@@ -467,6 +550,8 @@ class PipelineExecutor:
                     )
                     if final_tokens[batch_index] == final_replicas:
                         completions[batch_index] = simulator.now
+                        if trace is not None:
+                            trace.batch_complete(batch_index, simulator.now)
                         on_batch_complete()
                 else:
                     consumer_count = plan.replicas(stage_index + 1)
@@ -500,6 +585,12 @@ class PipelineExecutor:
             core_id: list(server.spans)
             for core_id, server in servers.items()
         }
+        if trace is not None:
+            trace.end_repetition(
+                window_us=max(completions.values(), default=0.0),
+                batch_bytes=batch_bytes,
+                batches=batch_count,
+            )
         return self._collect_metrics(
             plan, servers, meter, completions, batch_bytes, governor
         )

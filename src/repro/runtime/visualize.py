@@ -95,6 +95,30 @@ def render_power_trace(samples, width: int = 72) -> str:
     )
 
 
+def _spans_from_recorder(recorder) -> dict:
+    """Convert a :class:`repro.obs.TraceRecorder` (or its event list)
+    into the legacy ``{core_id: [(task, batch, start, end), ...]}``
+    shape, keeping only the last repetition's task spans."""
+    events = getattr(recorder, "events", recorder)
+    tasks = [
+        event for event in events
+        if event.phase == "X" and event.category == "task"
+        and event.name != "ctx-switch"
+    ]
+    if not tasks:
+        return {}
+    last_rep = max(event.pid for event in tasks)
+    spans: dict = {}
+    for event in tasks:
+        if event.pid != last_rep:
+            continue
+        batch = dict(event.args).get("batch", 0)
+        spans.setdefault(event.tid, []).append(
+            (event.name, batch, event.ts_us, event.ts_us + event.dur_us)
+        )
+    return spans
+
+
 def render_gantt(
     trace,
     board: BoardSpec,
@@ -102,11 +126,15 @@ def render_gantt(
 ) -> str:
     """ASCII Gantt chart of a measured execution trace.
 
-    ``trace`` is :attr:`PipelineExecutor.last_trace`:
-    ``{core_id: [(task, batch, start_us, end_us), ...]}``. Each core is
-    one row; busy spans print the digit of the batch they served (task
+    ``trace`` is either :attr:`PipelineExecutor.last_trace`
+    (``{core_id: [(task, batch, start_us, end_us), ...]}``) or a
+    :class:`repro.obs.TraceRecorder` / list of its events, from which
+    the final repetition's task spans are drawn. Each core is one row;
+    busy spans print the digit of the batch they served (task
     boundaries show as transitions), idle time prints ``.``.
     """
+    if not isinstance(trace, dict):
+        trace = _spans_from_recorder(trace)
     end_time = max(
         (span[3] for spans in trace.values() for span in spans),
         default=0.0,

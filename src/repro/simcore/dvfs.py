@@ -55,6 +55,15 @@ class Governor(abc.ABC):
             core.core_id: core.max_frequency_mhz for core in board.cores
         }
         self.switch_count = 0
+        self._trace = None
+        self._clock = None
+
+    def attach_trace(self, trace, clock) -> None:
+        """Report frequency transitions to a recorder; ``clock`` is a
+        zero-argument callable yielding the simulated time (µs). Passive:
+        attaching a trace never changes a decision."""
+        self._trace = trace
+        self._clock = clock
 
     def frequency_of(self, core_id: int) -> float:
         return self.frequencies[core_id]
@@ -74,6 +83,13 @@ class Governor(abc.ABC):
             if target != current:
                 self.frequencies[core.core_id] = target
                 changes += 1
+                if self._trace is not None:
+                    self._trace.dvfs_transition(
+                        core.core_id,
+                        current,
+                        target,
+                        self._clock() if self._clock is not None else 0.0,
+                    )
         self.switch_count += changes
         return dict(self.frequencies)
 

@@ -15,6 +15,13 @@ Only the features this package needs are implemented, but they are
 implemented fully: deterministic FIFO ordering for simultaneous events,
 process completion events (so processes can join each other), and error
 propagation out of :meth:`Simulator.run`.
+
+Observability: a :class:`Simulator` may carry a
+:class:`~repro.obs.trace.TraceRecorder` (``trace=``). Named stores then
+report their queue depth on every put/get, and — when the recorder asks
+for ``process_events`` — process resume/termination emits instants.
+Every hook is a guarded read-only observer, so a traced simulation is
+event-for-event identical to an untraced one.
 """
 
 from __future__ import annotations
@@ -79,9 +86,14 @@ class Process(Event):
         bootstrap.succeed(None)
 
     def _resume(self, event: Event) -> None:
+        trace = self.simulator.trace
+        if trace is not None and trace.process_events:
+            trace.process_event("resume", self.name, self.simulator.now)
         try:
             target = self._generator.send(event.value)
         except StopIteration as stop:
+            if trace is not None and trace.process_events:
+                trace.process_event("end", self.name, self.simulator.now)
             if not self.queued:
                 self.succeed(stop.value)
             return
@@ -100,10 +112,16 @@ class Process(Event):
 
 
 class Simulator:
-    """Event heap plus virtual clock (time unit: microseconds)."""
+    """Event heap plus virtual clock (time unit: microseconds).
 
-    def __init__(self) -> None:
+    ``trace`` is an optional :class:`~repro.obs.trace.TraceRecorder`
+    that named stores and processes report to; ``None`` (the default)
+    keeps every hook on its zero-cost guard path.
+    """
+
+    def __init__(self, trace=None) -> None:
         self.now = 0.0
+        self.trace = trace
         self._heap: List = []
         self._sequence = 0
 
@@ -152,19 +170,39 @@ class Store:
     ``put`` returns an event that fires when the item has been accepted
     (immediately unless the store is full); ``get`` returns an event that
     fires with the oldest item once one is available.
+
+    A *named* store on a traced simulator reports its depth (queued
+    items plus blocked putters — i.e. total backlog) after every put and
+    get, giving the per-queue depth counters and highwater marks in the
+    trace.
     """
 
-    def __init__(self, simulator: Simulator, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        simulator: Simulator,
+        capacity: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError(f"store capacity must be >= 1, got {capacity}")
         self.simulator = simulator
         self.capacity = capacity
+        self.name = name
         self._items: List[Any] = []
         self._getters: List[Event] = []
         self._putters: List = []  # (event, item) pairs waiting for room
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def _report_depth(self) -> None:
+        trace = self.simulator.trace
+        if trace is not None and self.name is not None:
+            trace.queue_depth(
+                self.name,
+                len(self._items) + len(self._putters),
+                self.simulator.now,
+            )
 
     def put(self, item: Any) -> Event:
         event = Event(self.simulator)
@@ -174,12 +212,14 @@ class Store:
             self._dispatch()
         else:
             self._putters.append((event, item))
+        self._report_depth()
         return event
 
     def get(self) -> Event:
         event = Event(self.simulator)
         self._getters.append(event)
         self._dispatch()
+        self._report_depth()
         return event
 
     def _dispatch(self) -> None:

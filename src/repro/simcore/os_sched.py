@@ -24,6 +24,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.trace import active_recorder
 from repro.simcore.boards import BoardSpec
 
 __all__ = ["eas_place", "OS_CONTEXT_SWITCHES_PER_KB", "OS_MIGRATION_RATE"]
@@ -72,4 +73,11 @@ def eas_place(
             chosen = min(ordered, key=lambda c: utilization[c])
         utilization[chosen] += _UTILIZATION_ESTIMATE
         placement.append(chosen)
-    return tuple(placement)
+    result = tuple(placement)
+    # Placement decisions are a first-class trace event: a traced run
+    # (the executor publishes its recorder for the duration) shows where
+    # each EAS wake-up round put the workers.
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.placement("eas_place", result)
+    return result

@@ -45,11 +45,19 @@ class EnergyMeter:
     given end time and adds static energy for the whole duration.
     """
 
-    def __init__(self, board: BoardSpec, sampling_interval_us: float = 1000.0) -> None:
+    def __init__(
+        self,
+        board: BoardSpec,
+        sampling_interval_us: float = 1000.0,
+        trace=None,
+        clock=None,
+    ) -> None:
         if sampling_interval_us <= 0:
             raise SimulationError("sampling interval must be positive")
         self.board = board
         self.sampling_interval_us = sampling_interval_us
+        self.trace = trace
+        self.clock = clock
         self._busy_uj: Dict[int, float] = defaultdict(float)
         self._overhead_uj = 0.0
         self._intervals: List[Tuple[float, float, float]] = []  # start, end, W
@@ -66,6 +74,10 @@ class EnergyMeter:
         energy = power_w * duration_us  # W × µs = µJ
         self._busy_uj[core_id] += energy
         self._intervals.append((start_us, start_us + duration_us, power_w))
+        if self.trace is not None:
+            self.trace.energy_sample(
+                "busy", energy, start_us + duration_us
+            )
         return energy
 
     def record_overhead(self, energy_uj: float) -> None:
@@ -73,6 +85,12 @@ class EnergyMeter:
         if energy_uj < 0:
             raise SimulationError("overhead energy must be non-negative")
         self._overhead_uj += energy_uj
+        if self.trace is not None:
+            self.trace.energy_sample(
+                "overhead",
+                energy_uj,
+                self.clock() if self.clock is not None else 0.0,
+            )
 
     # -- results -----------------------------------------------------------
 

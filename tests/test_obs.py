@@ -1,0 +1,237 @@
+"""Unit tests for the observability package (repro.obs).
+
+Recorder aggregation, Chrome trace export, the dependency-free schema
+checker, and the process-wide metrics registry.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    active_recorder,
+    chrome_trace,
+    diff_snapshots,
+    set_active_recorder,
+    write_chrome_trace,
+)
+from repro.obs.check import main as check_main, validate_trace
+from repro.obs.trace import TID_GOVERNOR, TID_OS_SCHED, TID_RUNTIME
+from repro.simcore.boards import rk3399
+
+
+def small_recorder() -> TraceRecorder:
+    """A hand-driven recorder standing in for one 2-batch repetition."""
+    recorder = TraceRecorder()
+    recorder.begin_repetition(0)
+    recorder.span("compress", 1, 0.0, 100.0, batch=0)
+    recorder.span("compress", 1, 120.0, 220.0, batch=1)
+    recorder.span("flush", 2, 100.0, 140.0, batch=0)
+    recorder.context_switch(1, 2.5, 220.0)
+    recorder.context_switch(2, 1.0, 230.0, duration_us=10.0)
+    recorder.migration(2, 150.0)
+    recorder.dvfs_transition(1, 1416.0, 1800.0, 60.0)
+    recorder.fault(2, 80.0, 600.0)
+    recorder.queue_depth("q.s1r0.p0", 3, 50.0)
+    recorder.queue_depth("q.s1r0.p0", 1, 90.0)
+    recorder.energy_sample("busy", 40.0, 100.0)
+    recorder.energy_sample("overhead", 2.0, 100.0)
+    recorder.batch_complete(0, 140.0)
+    recorder.batch_complete(1, 240.0)
+    recorder.end_repetition(window_us=240.0, batch_bytes=1 << 19, batches=2)
+    return recorder
+
+
+class TestTraceRecorder:
+    def test_span_accumulates_core_busy(self):
+        recorder = small_recorder()
+        # two compress spans + the 10 µs ctx-switch stall on core 2
+        busy = recorder.core_busy_us
+        assert busy[1] == pytest.approx(200.0)
+        assert busy[2] == pytest.approx(40.0 + 10.0)
+
+    def test_context_switches_accumulate_fractionally(self):
+        recorder = small_recorder()
+        assert recorder.context_switches == pytest.approx(3.5)
+
+    def test_queue_highwater_keeps_maximum(self):
+        recorder = small_recorder()
+        assert recorder.queue_highwater["q.s1r0.p0"] == 3
+
+    def test_summary_per_mb_math(self):
+        summary = small_recorder().summary()
+        # 2 batches x 512 KiB = 1 MiB processed
+        assert summary.megabytes == pytest.approx(1.0)
+        assert summary.context_switches_per_mb == pytest.approx(3.5)
+        assert summary.migrations_per_mb == pytest.approx(1.0)
+        assert summary.queue_depth_highwater == 3
+        assert summary.dvfs_transitions == 1
+        assert summary.fault_injections == 1
+        assert summary.energy_busy_uj == pytest.approx(40.0)
+        assert summary.energy_overhead_uj == pytest.approx(2.0)
+
+    def test_occupancy_fraction_of_window(self):
+        summary = small_recorder().summary()
+        occupancy = summary.occupancy()
+        assert occupancy[1] == pytest.approx(200.0 / 240.0)
+
+    def test_empty_recorder_summary_is_all_zero(self):
+        summary = TraceRecorder().summary()
+        assert summary.context_switches_per_mb == 0.0
+        assert summary.migrations_per_mb == 0.0
+        assert summary.queue_depth_highwater == 0
+        assert summary.occupancy() == {}
+
+    def test_format_lists_counters_and_scheduler(self):
+        summary = small_recorder().summary(
+            scheduler=(("nodes_expanded", 12.0),)
+        )
+        text = summary.format(board=rk3399())
+        assert "context switches/MB" in text
+        assert "DVFS transitions" in text
+        assert "(little) occupancy" in text
+        assert "scheduler nodes_expanded" in text
+
+    def test_process_events_off_by_default(self):
+        recorder = TraceRecorder()
+        assert not recorder.process_events
+
+    def test_ambient_recorder_roundtrip(self):
+        recorder = TraceRecorder()
+        assert active_recorder() is None
+        set_active_recorder(recorder)
+        try:
+            assert active_recorder() is recorder
+        finally:
+            set_active_recorder(None)
+        assert active_recorder() is None
+
+    def test_synthetic_tracks_do_not_collide_with_cores(self):
+        board = rk3399()
+        core_ids = {core.core_id for core in board.cores}
+        assert not core_ids & {TID_GOVERNOR, TID_OS_SCHED, TID_RUNTIME}
+
+
+class TestChromeExport:
+    def test_payload_shape(self):
+        payload = chrome_trace(small_recorder(), board=rk3399())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases <= {"X", "i", "C", "M"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete and all("dur" in e for e in complete)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters and all(
+            isinstance(value, (int, float))
+            for e in counters for value in e["args"].values()
+        )
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+
+    def test_metadata_names_cores_and_tracks(self):
+        payload = chrome_trace(small_recorder(), board=rk3399())
+        names = {
+            event["args"]["name"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert any("little" in name or "big" in name for name in names)
+        assert any("governor" in name.lower() for name in names)
+
+    def test_other_data_carries_headline_counters(self):
+        payload = chrome_trace(small_recorder())
+        other = payload["otherData"]
+        assert other["context_switches_per_mb"] == pytest.approx(3.5)
+        assert other["migrations"] == 1
+
+    def test_write_is_valid_json_and_validates(self, tmp_path):
+        path = tmp_path / "out.trace.json"
+        write_chrome_trace(small_recorder(), path, board=rk3399())
+        with open(path) as source:
+            payload = json.load(source)
+        assert validate_trace(payload) == []
+
+
+class TestChecker:
+    def test_accepts_good_trace(self):
+        assert validate_trace(chrome_trace(small_recorder())) == []
+
+    def test_rejects_missing_events(self):
+        assert validate_trace({}) != []
+        assert validate_trace({"traceEvents": []}) != []
+
+    def test_rejects_unknown_phase(self):
+        payload = chrome_trace(small_recorder())
+        payload["traceEvents"][0] = dict(
+            payload["traceEvents"][0], ph="Z"
+        )
+        assert any("phase" in p for p in validate_trace(payload))
+
+    def test_rejects_complete_event_without_duration(self):
+        bad = {
+            "traceEvents": [
+                {"name": "t", "ph": "X", "ts": 0, "pid": 0, "tid": 0}
+            ]
+        }
+        assert validate_trace(bad) != []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        write_chrome_trace(small_recorder(), good)
+        assert check_main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": []}')
+        assert check_main([str(bad)]) == 1
+        assert check_main([]) == 2
+        capsys.readouterr()
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("cells")
+        registry.inc("cells", 2.0)
+        assert registry.counter("cells") == 3.0
+        assert registry.counter("absent") == 0.0
+
+    def test_timer_accumulates(self):
+        registry = MetricsRegistry()
+        registry.observe("phase", 0.5)
+        registry.observe("phase", 1.5)
+        snapshot = registry.snapshot()
+        entry = snapshot["timers"]["phase"]
+        assert entry["count"] == 2
+        assert entry["total_s"] == pytest.approx(2.0)
+        assert entry["min_s"] == pytest.approx(0.5)
+        assert entry["max_s"] == pytest.approx(1.5)
+        assert registry.timer_total("phase") == pytest.approx(2.0)
+
+    def test_timer_context_manager_measures(self):
+        registry = MetricsRegistry()
+        with registry.timer("work"):
+            pass
+        assert registry.timer_total("work") >= 0.0
+        assert registry.snapshot()["timers"]["work"]["count"] == 1
+
+    def test_diff_snapshots_isolates_interval(self):
+        registry = MetricsRegistry()
+        registry.inc("n", 5)
+        registry.observe("t", 1.0)
+        before = registry.snapshot()
+        registry.inc("n", 2)
+        registry.observe("t", 0.25)
+        delta = diff_snapshots(before, registry.snapshot())
+        assert delta["counters"] == {"n": 2}
+        assert delta["timers"]["t"]["count"] == 1
+        assert delta["timers"]["t"]["total_s"] == pytest.approx(0.25)
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("n")
+        registry.observe("t", 1.0)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {} and snapshot["timers"] == {}

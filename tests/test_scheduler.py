@@ -196,3 +196,35 @@ class TestCoarseGraphScheduling:
             fine.estimate.energy_uj_per_byte
             < coarse.estimate.energy_uj_per_byte
         )
+
+
+class TestSearchInstrumentation:
+    def test_schedule_attaches_search_stats(self, model):
+        from repro.core.scheduler import SearchStats
+
+        result = Scheduler(model).schedule(best_effort=True)
+        stats = result.search_stats
+        assert isinstance(stats, SearchStats)
+        assert stats.plans_evaluated >= 1
+        assert stats.nodes_expanded >= 1
+        assert stats.scaling_rounds >= 1
+        assert stats.wall_clock_s >= 0.0
+        pairs = dict(stats.as_pairs())
+        assert set(pairs) == {
+            "nodes_expanded", "branches_pruned", "plans_evaluated",
+            "scaling_rounds", "wall_clock_s",
+        }
+
+    def test_stats_do_not_affect_equality(self, model):
+        from dataclasses import replace
+
+        first = Scheduler(model).schedule(best_effort=True)
+        second = replace(first, search_stats=None)
+        assert first == second
+
+    def test_search_publishes_registry_counters(self, model):
+        from repro.obs.registry import REGISTRY
+
+        before = REGISTRY.counter("scheduler.plans_evaluated")
+        Scheduler(model).schedule(best_effort=True)
+        assert REGISTRY.counter("scheduler.plans_evaluated") > before

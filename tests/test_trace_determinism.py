@@ -1,0 +1,153 @@
+"""Tracing must observe, never perturb.
+
+The tentpole guarantee of the observability layer: a traced run's
+simulated numbers are byte-identical to the untraced run's, and traced
+runs are themselves deterministic (same seed, same event stream). Plus
+the paper-shape diagnostics the trace makes measurable: the OS baseline
+context-switches orders of magnitude more per MB than CStream (§VI-B),
+and an ondemand-governed OS cell shows nonzero context-switch,
+migration and DVFS counters.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.harness import Harness, WorkloadSpec
+from repro.obs.export import chrome_trace
+from repro.obs.check import validate_trace
+
+BATCH = 8192
+
+
+def make_harness(**kwargs):
+    kwargs.setdefault("repetitions", 2)
+    kwargs.setdefault("batches_per_repetition", 4)
+    kwargs.setdefault("cache", None)
+    return Harness(**kwargs)
+
+
+def spec_of(codec="tcomp32", dataset="rovio"):
+    return WorkloadSpec.of(codec, dataset, batch_size=BATCH)
+
+
+class TestTracedEqualsUntraced:
+    @pytest.mark.parametrize("mechanism", ["CStream", "OS", "RR"])
+    def test_same_numbers(self, mechanism):
+        plain = make_harness().run(spec_of(), mechanism)
+        traced, recorder = make_harness().run_traced(spec_of(), mechanism)
+        assert traced.repetitions == plain.repetitions
+        assert traced == plain  # trace_summary is comparison-neutral
+        assert traced.trace_summary is not None
+        assert plain.trace_summary is None
+        assert recorder.events
+
+    def test_same_numbers_under_ondemand_governor(self):
+        plain = make_harness().run(spec_of(), "OS", governor="ondemand")
+        traced, _ = make_harness().run_traced(
+            spec_of(), "OS", governor="ondemand"
+        )
+        assert traced.repetitions == plain.repetitions
+
+    def test_two_traced_runs_identical_event_streams(self):
+        _, first = make_harness().run_traced(spec_of(), "CStream")
+        _, second = make_harness().run_traced(spec_of(), "CStream")
+        assert first.events == second.events
+        assert first.summary() == second.summary()
+
+    def test_process_events_add_detail_not_perturbation(self):
+        baseline, quiet = make_harness().run_traced(spec_of(), "CStream")
+        verbose_result, verbose = make_harness().run_traced(
+            spec_of(), "CStream", process_events=True
+        )
+        assert verbose_result.repetitions == baseline.repetitions
+        assert len(verbose.events) > len(quiet.events)
+        assert any(e.category == "process" for e in verbose.events)
+
+
+class TestPaperShape:
+    """Satellite: the §VI-B context-switch diagnostic."""
+
+    def test_os_switches_orders_of_magnitude_more_than_cstream(self):
+        os_result, _ = make_harness().run_traced(spec_of(), "OS")
+        cs_result, _ = make_harness().run_traced(spec_of(), "CStream")
+        os_rate = os_result.trace_summary.context_switches_per_mb
+        cs_rate = cs_result.trace_summary.context_switches_per_mb
+        # paper: ~60 000/MB under CFS vs ~10/MB per CStream stage
+        assert os_rate > 10_000
+        assert cs_rate < 1_000
+        assert os_rate / cs_rate > 100
+
+    def test_acceptance_cell_counters_and_export(self, tmp_path):
+        """ISSUE acceptance: traced OS cell with the ondemand governor
+        has nonzero switch/migration/DVFS counters and a valid trace."""
+        result, recorder = make_harness().run_traced(
+            spec_of(), "OS", governor="ondemand"
+        )
+        summary = result.trace_summary
+        assert summary.context_switches > 0
+        assert summary.migrations > 0
+        assert summary.dvfs_transitions > 0
+        assert summary.queue_depth_highwater >= 1
+        assert 0.0 < max(summary.occupancy().values()) <= 1.0
+
+        payload = chrome_trace(recorder, board=make_harness().board)
+        assert validate_trace(payload) == []
+
+    def test_cstream_scheduler_stats_surface_in_summary(self):
+        result, _ = make_harness().run_traced(spec_of(), "CStream")
+        stats = dict(result.trace_summary.scheduler)
+        assert stats["plans_evaluated"] >= 1
+        assert stats["nodes_expanded"] >= 1
+        assert stats["wall_clock_s"] >= 0
+
+
+class TestHarnessTraceRouting:
+    def test_trace_dir_writes_one_valid_file_per_computed_cell(
+        self, tmp_path
+    ):
+        harness = make_harness(trace_dir=str(tmp_path / "traces"))
+        harness.run(spec_of(), "RR")
+        files = list((tmp_path / "traces").glob("*.trace.json"))
+        assert len(files) == 1
+        assert "tcomp32-rovio-RR" in files[0].name
+        with open(files[0]) as source:
+            assert validate_trace(json.load(source)) == []
+        # a second run hits the in-memory cache: no new file
+        harness.run(spec_of(), "RR")
+        assert len(list((tmp_path / "traces").glob("*.trace.json"))) == 1
+
+    def test_run_traced_upgrades_cached_entry_with_summary(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        harness = make_harness(cache=cache)
+        plain = harness.run(spec_of(), "BO")
+        assert plain.trace_summary is None
+        traced, _ = harness.run_traced(spec_of(), "BO")
+        assert traced == plain
+        fresh = make_harness(cache=ResultCache(tmp_path / "cache"))
+        served = fresh.run(spec_of(), "BO")
+        assert served.trace_summary is not None
+        assert served == plain
+
+
+class TestPercentiles:
+    """Satellite: tail percentiles on RunResult."""
+
+    def test_percentiles_bracket_the_mean(self):
+        result = make_harness(repetitions=8).run(spec_of(), "CStream")
+        p50 = result.p50_latency_us_per_byte
+        p95 = result.p95_latency_us_per_byte
+        p99 = result.p99_latency_us_per_byte
+        assert p50 <= p95 <= p99
+        assert p99 <= max(
+            r.latency_us_per_byte for r in result.repetitions
+        ) + 1e-9
+        assert result.p50_energy_uj_per_byte <= result.p99_energy_uj_per_byte
+        assert "p95" in result.summary() and "p99" in result.summary()
+
+    def test_single_repetition_percentiles_collapse(self):
+        result = make_harness(repetitions=1).run(spec_of(), "RR")
+        only = result.repetitions[0].latency_us_per_byte
+        assert result.p50_latency_us_per_byte == pytest.approx(only)
+        assert result.p99_latency_us_per_byte == pytest.approx(only)
