@@ -1,0 +1,606 @@
+"""Plan and trace invariant verifier (``python -m repro.analysis.verify``).
+
+The static linter (:mod:`repro.analysis.lint`) keeps nondeterminism out
+of the *source*; this module checks the *artifacts* — scheduling plans
+before they are simulated, and exported trace streams after a run:
+
+========  ==================================================================
+code      invariant
+========  ==================================================================
+PLN001    the plan's task graph is acyclic: pipeline edges plus the data
+          dependencies implied by the codec's step order must admit a
+          topological order
+PLN002    step coverage: the plan's tasks cover exactly the codec's step
+          decomposition — no missing, duplicated or unknown steps
+PLN003    every assigned core id exists on the target board
+PLN004    no core hosts two replicas of the *same* stage (warning —
+          legitimate for OS/EAS-style placements, pathological for
+          model-guided plans)
+PLN005    L_set feasibility: the cost model's estimate for the plan
+          meets the latency constraint (error when the caller expects a
+          feasible plan, warning otherwise)
+TRC001    simulated time is non-decreasing per track (``(pid, tid)``) in
+          stream order
+TRC002    cumulative energy counters never decrease per track
+TRC003    ``X`` spans on one track never overlap — a core cannot run
+          two things at once
+TRC004    same-timestamp counter updates with different values on one
+          track are order-dependent pairs: swapping them changes the
+          counter's value at that instant (simulation race hazard;
+          warning, aggregated)
+TRC005    well-formed quantities: no negative timestamps/durations, and
+          integer pid/tid
+========  ==================================================================
+
+Severity model: **error** findings make the CLI exit 1; **warning**
+findings are printed but only fail with ``--strict``. CI runs the
+verifier over every cell the smoke job traces.
+
+This module is importable with the standard library alone (plans and
+cost models are duck-typed), so :mod:`repro.obs.check` can reuse the
+trace checks without dragging in the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "VerifyFinding",
+    "INVARIANTS",
+    "verify_plan",
+    "verify_trace_events",
+    "verify_chrome_payload",
+    "iter_chrome_events",
+    "iter_recorder_events",
+    "main",
+]
+
+#: invariant code -> one-line summary (rendered by README/DESIGN tables)
+INVARIANTS: Dict[str, str] = {
+    "PLN001": "plan task graph is acyclic under pipeline + data edges",
+    "PLN002": "plan covers the codec's step decomposition exactly",
+    "PLN003": "every assigned core id exists on the board",
+    "PLN004": "no core double-booked within one stage (warning)",
+    "PLN005": "plan meets the L_set latency constraint per the cost model",
+    "TRC001": "simulated time non-decreasing per (pid, tid) track",
+    "TRC002": "cumulative energy counters monotone per track",
+    "TRC003": "X spans on one track never overlap",
+    "TRC004": "no order-dependent same-timestamp counter pairs (warning)",
+    "TRC005": "non-negative ts/dur, integer pid/tid",
+}
+
+ERROR = "error"
+WARNING = "warning"
+
+#: span-overlap tolerance (µs) — absorbs float noise in back-dated spans
+_SPAN_EPSILON_US = 1e-6
+
+
+@dataclass(frozen=True)
+class VerifyFinding:
+    """One violated invariant."""
+
+    code: str
+    severity: str
+    message: str
+    location: str = ""
+
+    def format(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.code} {self.severity}: {self.message}{where}"
+
+
+def errors_only(findings: Iterable[VerifyFinding]) -> List[VerifyFinding]:
+    return [f for f in findings if f.severity == ERROR]
+
+
+# ---------------------------------------------------------------------------
+# plan invariants
+# ---------------------------------------------------------------------------
+
+
+def _plan_stages(plan: Any) -> List[Tuple[str, Tuple[str, ...]]]:
+    """``(task name, step ids)`` per stage, duck-typed off the plan."""
+    stages = []
+    for task in plan.graph.tasks:
+        stages.append((task.name, tuple(task.step_ids)))
+    return stages
+
+
+def _find_cycle(edges: Dict[int, set]) -> Optional[List[int]]:
+    """A cycle as a node list (closed walk), or None. Iterative DFS with
+    the classic white/grey/black colouring."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in edges}
+    parent: Dict[int, int] = {}
+    for root in sorted(edges):
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[int, Iterable[int]]] = [(root, iter(sorted(edges[root])))]
+        colour[root] = GREY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if colour.get(child, WHITE) == GREY:
+                    # walk back from node to child via parent links
+                    cycle = [child, node]
+                    walker = node
+                    while walker != child:
+                        walker = parent[walker]
+                        if walker != child:
+                            cycle.append(walker)
+                    cycle.reverse()
+                    return cycle
+                if colour.get(child, WHITE) == WHITE:
+                    colour[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(sorted(edges[child]))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def verify_plan(
+    plan: Any,
+    *,
+    board: Any = None,
+    expected_steps: Optional[Sequence[str]] = None,
+    cost_model: Any = None,
+    expect_feasible: bool = False,
+) -> List[VerifyFinding]:
+    """Check one scheduling plan against PLN001-PLN005.
+
+    ``plan`` needs ``.graph.tasks`` (each with ``.name``/``.step_ids``)
+    and ``.assignments``; ``board`` needs ``.core_by_id``; ``cost_model``
+    needs ``.evaluate(plan)`` returning an object with ``.feasible`` and
+    ``.infeasibility_reason``. All three extras are optional — omitted
+    checks are skipped, not failed.
+    """
+    findings: List[VerifyFinding] = []
+    stages = _plan_stages(plan)
+    assignments = tuple(tuple(cores) for cores in plan.assignments)
+
+    # PLN002 — step coverage (checked first: PLN001's data edges need a
+    # consistent step->stage map, which duplicates would garble)
+    step_stage: Dict[str, int] = {}
+    duplicated: List[str] = []
+    for stage_index, (_, step_ids) in enumerate(stages):
+        for step_id in step_ids:
+            if step_id in step_stage:
+                duplicated.append(step_id)
+            else:
+                step_stage[step_id] = stage_index
+    if duplicated:
+        findings.append(
+            VerifyFinding(
+                code="PLN002",
+                severity=ERROR,
+                message=f"steps assigned to more than one task: {duplicated}",
+            )
+        )
+    if expected_steps is not None:
+        expected = list(expected_steps)
+        missing = [s for s in expected if s not in step_stage]
+        unknown = [s for s in step_stage if s not in set(expected)]
+        if missing:
+            findings.append(
+                VerifyFinding(
+                    code="PLN002",
+                    severity=ERROR,
+                    message=f"decomposition misses codec steps: {missing}",
+                )
+            )
+        if unknown:
+            findings.append(
+                VerifyFinding(
+                    code="PLN002",
+                    severity=ERROR,
+                    message=f"decomposition has unknown steps: {unknown}",
+                )
+            )
+
+    # PLN001 — acyclicity of pipeline edges + step-order data edges
+    edges: Dict[int, set] = {index: set() for index in range(len(stages))}
+    for index in range(len(stages) - 1):
+        edges[index].add(index + 1)
+    if expected_steps is not None and not duplicated:
+        ordered = [s for s in expected_steps if s in step_stage]
+        for producer, consumer in zip(ordered, ordered[1:]):
+            source = step_stage[producer]
+            target = step_stage[consumer]
+            if source != target:
+                edges[source].add(target)
+    cycle = _find_cycle(edges)
+    if cycle is not None:
+        names = " -> ".join(stages[index][0] for index in cycle + cycle[:1])
+        findings.append(
+            VerifyFinding(
+                code="PLN001",
+                severity=ERROR,
+                message=(
+                    "plan dependencies are cyclic (pipeline order "
+                    f"contradicts the codec's step order): {names}"
+                ),
+            )
+        )
+
+    # PLN003 — core ids exist on the board
+    if board is not None:
+        valid = set(board.core_by_id)
+        for stage_index, cores in enumerate(assignments):
+            bad = sorted(set(core for core in cores if core not in valid))
+            if bad:
+                findings.append(
+                    VerifyFinding(
+                        code="PLN003",
+                        severity=ERROR,
+                        message=(
+                            f"stage {stage_index} assigns unknown core "
+                            f"id(s) {bad}; board has {sorted(valid)}"
+                        ),
+                        location=f"stage {stage_index}",
+                    )
+                )
+
+    # PLN004 — within-stage double-booking (warning: EAS/OS placements
+    # legitimately stack two workers on one little core)
+    for stage_index, cores in enumerate(assignments):
+        seen: Dict[int, int] = {}
+        for core in cores:
+            seen[core] = seen.get(core, 0) + 1
+        booked = sorted(core for core, count in seen.items() if count > 1)
+        if booked:
+            findings.append(
+                VerifyFinding(
+                    code="PLN004",
+                    severity=WARNING,
+                    message=(
+                        f"stage {stage_index} places multiple replicas on "
+                        f"core(s) {booked}; replicas of one stage share "
+                        "that core's capacity"
+                    ),
+                    location=f"stage {stage_index}",
+                )
+            )
+
+    # PLN005 — L_set feasibility per the cost model
+    if cost_model is not None:
+        estimate = cost_model.evaluate(plan)
+        if not estimate.feasible:
+            findings.append(
+                VerifyFinding(
+                    code="PLN005",
+                    severity=ERROR if expect_feasible else WARNING,
+                    message=(
+                        "plan misses the latency constraint: "
+                        f"{estimate.infeasibility_reason or 'infeasible'}"
+                    ),
+                )
+            )
+
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# trace invariants
+# ---------------------------------------------------------------------------
+
+
+def iter_chrome_events(payload: Any) -> Iterable[Dict[str, Any]]:
+    """Normalized event dicts from a parsed Chrome trace-event object.
+
+    Metadata (``ph == "M"``) events are skipped — they carry no
+    timeline. Malformed entries are passed through with defaulted fields
+    so TRC005 can report them instead of crashing.
+    """
+    events = payload.get("traceEvents", []) if isinstance(payload, dict) else []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or event.get("ph") == "M":
+            continue
+        args = event.get("args")
+        yield {
+            "index": index,
+            "name": event.get("name", ""),
+            "ph": event.get("ph", ""),
+            "ts": event.get("ts", 0),
+            "pid": event.get("pid", 0),
+            "tid": event.get("tid", 0),
+            "dur": event.get("dur", 0),
+            "cat": event.get("cat", ""),
+            "args": dict(args) if isinstance(args, dict) else {},
+        }
+
+
+def iter_recorder_events(recorder: Any) -> Iterable[Dict[str, Any]]:
+    """Normalized event dicts straight from a live
+    :class:`repro.obs.trace.TraceRecorder` (duck-typed: anything with an
+    ``events`` list of ``TraceEvent``-shaped objects)."""
+    for index, event in enumerate(recorder.events):
+        yield {
+            "index": index,
+            "name": event.name,
+            "ph": event.phase,
+            "ts": event.ts_us,
+            "pid": event.pid,
+            "tid": event.tid,
+            "dur": event.dur_us,
+            "cat": event.category,
+            "args": dict(event.args),
+        }
+
+
+def _is_energy_counter(event: Dict[str, Any]) -> bool:
+    name = event["name"]
+    return event["ph"] == "C" and (
+        event.get("cat") == "energy" or name.startswith("energy.")
+    )
+
+
+def _counter_value(event: Dict[str, Any]) -> Optional[float]:
+    value = event["args"].get("value")
+    if isinstance(value, numbers.Real) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def _track(event: Dict[str, Any]) -> Tuple[Any, Any]:
+    return (event["pid"], event["tid"])
+
+
+def verify_trace_events(
+    events: Iterable[Dict[str, Any]],
+) -> List[VerifyFinding]:
+    """Check a normalized event stream against TRC001-TRC005.
+
+    ``events`` must be in *stream order* (the order the recorder emitted
+    them / the order they appear in the exported file) — TRC001 and
+    TRC004 are statements about that order.
+    """
+    findings: List[VerifyFinding] = []
+
+    last_ts: Dict[Tuple[Any, Any], float] = {}
+    ts_violations: Dict[Tuple[Any, Any], Tuple[int, int]] = {}
+    energy_last: Dict[Tuple[Any, Any, str], float] = {}
+    spans: Dict[Tuple[Any, Any], List[Tuple[float, float, int]]] = {}
+    hazard_count = 0
+    hazard_example: Optional[str] = None
+    previous: Optional[Dict[str, Any]] = None
+    malformed = 0
+    malformed_example: Optional[str] = None
+
+    for event in events:
+        index = event["index"]
+        ts = event["ts"]
+        dur = event["dur"]
+
+        # TRC005 — well-formed quantities
+        bad_ts = (
+            not isinstance(ts, numbers.Real) or isinstance(ts, bool) or ts < 0
+        )
+        bad_dur = (
+            not isinstance(dur, numbers.Real)
+            or isinstance(dur, bool)
+            or dur < 0
+        )
+        bad_track = any(
+            not isinstance(event[key], int) or isinstance(event[key], bool)
+            for key in ("pid", "tid")
+        )
+        if bad_ts or bad_dur or bad_track:
+            malformed += 1
+            if malformed_example is None:
+                what = "ts" if bad_ts else ("dur" if bad_dur else "pid/tid")
+                malformed_example = (
+                    f"traceEvents[{index}] {event['name']!r}: bad {what}"
+                )
+            previous = event
+            continue
+        ts = float(ts)
+        track = _track(event)
+
+        # TRC001 — per-track monotone simulated time
+        seen = last_ts.get(track)
+        if seen is not None and ts < seen:
+            count, first = ts_violations.get(track, (0, index))
+            ts_violations[track] = (count + 1, first)
+        if seen is None or ts > seen:
+            last_ts[track] = ts
+
+        # TRC002 — cumulative energy counters never decrease
+        if _is_energy_counter(event):
+            value = _counter_value(event)
+            if value is not None:
+                key = (event["pid"], event["tid"], event["name"])
+                before = energy_last.get(key)
+                if before is not None and value < before:
+                    findings.append(
+                        VerifyFinding(
+                            code="TRC002",
+                            severity=ERROR,
+                            message=(
+                                f"cumulative counter {event['name']!r} "
+                                f"drops {before} -> {value}"
+                            ),
+                            location=(
+                                f"traceEvents[{index}] pid={event['pid']} "
+                                f"tid={event['tid']}"
+                            ),
+                        )
+                    )
+                energy_last[key] = value
+
+        # TRC003 — collect X spans per track
+        if event["ph"] == "X":
+            spans.setdefault(track, []).append((ts, ts + float(dur), index))
+
+        # TRC004 — order-dependent same-timestamp counter pairs
+        if (
+            previous is not None
+            and event["ph"] == "C"
+            and previous.get("ph") == "C"
+            and _track(previous) == track
+            and previous.get("ts") == event["ts"]
+            and previous.get("name") == event["name"]
+        ):
+            before_value = _counter_value(previous)
+            after_value = _counter_value(event)
+            if (
+                before_value is not None
+                and after_value is not None
+                and before_value != after_value
+            ):
+                hazard_count += 1
+                if hazard_example is None:
+                    hazard_example = (
+                        f"traceEvents[{index}] {event['name']!r} at "
+                        f"ts={ts}: {before_value} vs {after_value}"
+                    )
+        previous = event
+
+    if malformed:
+        findings.append(
+            VerifyFinding(
+                code="TRC005",
+                severity=ERROR,
+                message=(
+                    f"{malformed} event(s) with negative or non-numeric "
+                    "ts/dur or non-integer pid/tid"
+                ),
+                location=malformed_example or "",
+            )
+        )
+    for track, (count, first) in sorted(ts_violations.items(), key=str):
+        findings.append(
+            VerifyFinding(
+                code="TRC001",
+                severity=ERROR,
+                message=(
+                    f"simulated time goes backwards {count} time(s) on "
+                    f"track pid={track[0]} tid={track[1]}"
+                ),
+                location=f"first at traceEvents[{first}]",
+            )
+        )
+    for track, track_spans in sorted(spans.items(), key=str):
+        track_spans.sort(key=lambda span: (span[0], span[1], span[2]))
+        open_end = None
+        open_index = None
+        for start, end, index in track_spans:
+            if open_end is not None and start < open_end - _SPAN_EPSILON_US:
+                findings.append(
+                    VerifyFinding(
+                        code="TRC003",
+                        severity=ERROR,
+                        message=(
+                            f"span starting at ts={start} overlaps the "
+                            f"span ending at ts={open_end} on track "
+                            f"pid={track[0]} tid={track[1]}"
+                        ),
+                        location=(
+                            f"traceEvents[{index}] vs "
+                            f"traceEvents[{open_index}]"
+                        ),
+                    )
+                )
+            if open_end is None or end > open_end:
+                open_end = end
+                open_index = index
+    if hazard_count:
+        findings.append(
+            VerifyFinding(
+                code="TRC004",
+                severity=WARNING,
+                message=(
+                    f"{hazard_count} same-timestamp counter pair(s) whose "
+                    "order changes the counter value at that instant "
+                    "(simulation race hazard if emission order ever "
+                    "stops being deterministic)"
+                ),
+                location=hazard_example or "",
+            )
+        )
+
+    return findings
+
+
+def verify_chrome_payload(payload: Any) -> List[VerifyFinding]:
+    """Trace invariants over a parsed Chrome trace-event object."""
+    return verify_trace_events(iter_chrome_events(payload))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.verify",
+        description="trace-stream invariant verifier (TRC001-TRC005)",
+    )
+    parser.add_argument("traces", nargs="+", metavar="TRACE.json")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not only errors",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print findings as JSON instead of human output",
+    )
+    args = parser.parse_args(argv)
+
+    all_findings: List[Tuple[str, VerifyFinding]] = []
+    status = 0
+    for path in args.traces:
+        try:
+            with open(path, "r", encoding="utf-8") as source:
+                payload = json.load(source)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{path}: unreadable trace: {error}", file=sys.stderr)
+            status = 2
+            continue
+        for finding in verify_chrome_payload(payload):
+            all_findings.append((path, finding))
+
+    errors = sum(1 for _, f in all_findings if f.severity == ERROR)
+    warnings = len(all_findings) - errors
+    if args.as_json:
+        json.dump(
+            {
+                "version": 1,
+                "findings": [
+                    dict(asdict(finding), path=path)
+                    for path, finding in all_findings
+                ],
+                "errors": errors,
+                "warnings": warnings,
+                "invariants": INVARIANTS,
+            },
+            sys.stdout,
+            indent=2,
+        )
+        print()
+    else:
+        for path, finding in all_findings:
+            print(f"{path}: {finding.format()}")
+        print(
+            f"checked {len(args.traces)} trace(s): "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    if status == 0 and (errors or (args.strict and warnings)):
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,6 @@ from repro.core.baselines import (
     MechanismOutcome,
     WorkloadContext,
 )
-from repro.core.decomposition import decompose
 from repro.core.profiler import profile_workload
 from repro.core.scheduler import Scheduler
 from repro.core.statistics_regulator import StatisticsAwareRegulator

@@ -20,8 +20,6 @@ from repro.core.adaptive import FeedbackRegulator
 from repro.core.baselines import MECHANISM_NAMES, MechanismOutcome
 from repro.core.plan import SchedulingPlan
 from repro.core.profiler import profile_workload
-from repro.core.scheduler import Scheduler
-from repro.compression.base import StepRole
 from repro.datasets import MicroDataset
 from repro.runtime.executor import (
     ExecutionConfig,

@@ -12,10 +12,8 @@ from typing import Optional
 
 from repro.bench.experiments import ExperimentResult
 from repro.bench.harness import Harness, WorkloadSpec, default_harness
-from repro.core.plan import SchedulingPlan
 from repro.core.profiler import profile_roofline
 from repro.core.scheduler import Scheduler
-from repro.core.task import TaskGraph
 from repro.simcore.hardware import CoreType
 from repro.simcore.interconnect import Path, stream_probe
 

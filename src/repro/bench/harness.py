@@ -41,7 +41,6 @@ from repro.core.baselines import (
 )
 from repro.core.profiler import WorkloadProfile, profile_workload
 from repro.datasets import get_dataset
-from repro.errors import ConfigurationError
 from repro.obs.registry import REGISTRY
 from repro.obs.trace import TraceRecorder
 from repro.runtime.executor import ExecutionConfig, PipelineExecutor

@@ -32,7 +32,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.bench.harness import Harness, WorkloadSpec
 from repro.runtime.metrics import RunResult

@@ -9,14 +9,12 @@ attaches to a reproduction claim.
 
 from __future__ import annotations
 
-import os
 import platform
 import time
 from typing import List, Optional
 
 from repro.bench.harness import (
     DEFAULT_BATCH_BYTES,
-    DEFAULT_REPETITIONS,
     Harness,
 )
 

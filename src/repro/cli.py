@@ -21,6 +21,11 @@ Subcommands
     ``python -m repro.bench``), with ``--jobs N`` process-parallel grid
     execution, a ``--cache-dir`` persistent result cache and a
     ``--trace-dir`` that traces every computed cell.
+``analyze``
+    Run the static-analysis suite: the determinism linter
+    (``repro.analysis.lint``, rules CSA001-CSA008) over source paths
+    and, optionally, the trace invariant verifier
+    (``repro.analysis.verify``, TRC001-TRC005) over exported traces.
 ``boards``
     List the available simulated boards.
 """
@@ -28,6 +33,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -147,6 +153,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        "cell (default: REPRO_TRACE_DIR, else none)")
     bench.add_argument("--output", default="results.md",
                        help="report output path (only with 'report')")
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the determinism linter (and optionally the trace "
+        "invariant verifier)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed repro "
+        "package)",
+    )
+    analyze.add_argument("--trace", action="append", default=[],
+                         metavar="TRACE.json",
+                         help="also verify a trace file (repeatable)")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable output")
+    analyze.add_argument("--report", default=None, metavar="FILE",
+                         help="write the lint JSON report to FILE")
+    analyze.add_argument("--strict", action="store_true",
+                         help="fail on verifier warnings too")
 
     commands.add_parser("boards", help="list simulated boards")
     return parser
@@ -333,6 +359,27 @@ def _command_bench(args) -> int:
     return bench_main(argv)
 
 
+def _command_analyze(args) -> int:
+    import repro
+    from repro.analysis import lint, verify
+
+    paths = args.paths or [os.path.dirname(repro.__file__)]
+    lint_args = list(paths)
+    if args.as_json:
+        lint_args.append("--json")
+    if args.report:
+        lint_args += ["--report", args.report]
+    status = lint.main(lint_args)
+    if args.trace:
+        verify_args = list(args.trace)
+        if args.as_json:
+            verify_args.append("--json")
+        if args.strict:
+            verify_args.append("--strict")
+        status = max(status, verify.main(verify_args))
+    return status
+
+
 def _command_boards(args) -> int:
     for name, factory in sorted(_BOARDS.items()):
         board = factory()
@@ -351,6 +398,7 @@ def main(argv=None) -> int:
         "simulate": _command_simulate,
         "trace": _command_trace,
         "bench": _command_bench,
+        "analyze": _command_analyze,
         "boards": _command_boards,
     }
     try:

@@ -23,8 +23,6 @@ symmetric placement), ``+decom.`` (fine tasks, random placement),
 from __future__ import annotations
 
 import abc
-import dataclasses
-import math
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Union
 

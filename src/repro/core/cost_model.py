@@ -37,6 +37,7 @@ from repro.core.profiler import (
 from repro.core.roofline import FittedPiecewise, fit_piecewise
 from repro.core.task import TaskGraph
 from repro.errors import ConfigurationError
+from repro.numerics import ordered_sum
 from repro.simcore.boards import BoardSpec
 from repro.simcore.hardware import CoreType, replication_factor
 
@@ -274,7 +275,7 @@ class CostModel:
         bottleneck_task = max(est.l_us_per_byte for est in estimates)
         bottleneck_core = max(core_load.values())
         latency = max(bottleneck_task, bottleneck_core)
-        energy = sum(est.energy_uj_per_byte for est in estimates)
+        energy = ordered_sum(est.energy_uj_per_byte for est in estimates)
 
         budget = self.guard_band * self.latency_constraint_us_per_byte
         reason = ""

@@ -17,7 +17,7 @@ the write step stays separate (Fig 4).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.compression.base import StepCost
 from repro.core.profiler import CommunicationTable, WorkloadProfile

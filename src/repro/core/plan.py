@@ -68,6 +68,54 @@ class SchedulingPlan:
             parts.append(f"{task}@{list(cores)}")
         return " -> ".join(parts)
 
+    def validate(
+        self,
+        *,
+        board=None,
+        expected_steps=None,
+        cost_model=None,
+        expect_feasible: bool = False,
+        strict: bool = False,
+    ):
+        """Check this plan against the PLN001-PLN005 invariants.
+
+        Raises :class:`~repro.errors.InvariantViolationError` on any
+        error-severity finding (with ``strict=True``, on warnings too);
+        returns the full findings list otherwise so callers can log
+        warnings. ``board``/``expected_steps``/``cost_model`` enable the
+        corresponding checks — see
+        :func:`repro.analysis.verify.verify_plan`. Enabled for every
+        :meth:`~repro.core.scheduler.Scheduler.schedule` call when
+        ``REPRO_VALIDATE_PLANS=1`` (the test suite's default).
+        """
+        # Imported lazily: repro.analysis.verify is stdlib-only, but
+        # keeping it out of module scope avoids import-time coupling of
+        # the core data model to the analysis tooling.
+        from repro.analysis.verify import verify_plan
+
+        from repro.errors import InvariantViolationError
+
+        findings = verify_plan(
+            self,
+            board=board,
+            expected_steps=expected_steps,
+            cost_model=cost_model,
+            expect_feasible=expect_feasible,
+        )
+        failing = [
+            finding
+            for finding in findings
+            if finding.severity == "error" or strict
+        ]
+        if failing:
+            details = "; ".join(finding.format() for finding in failing)
+            raise InvariantViolationError(
+                f"plan {self.describe()} violates "
+                f"{len(failing)} invariant(s): {details}",
+                findings=failing,
+            )
+        return findings
+
 
 @dataclass(frozen=True)
 class TaskEstimate:

@@ -26,6 +26,19 @@ class InfeasiblePlanError(SchedulingError):
     available hardware resources."""
 
 
+class InvariantViolationError(SchedulingError):
+    """A scheduling plan (or trace stream) violated a structural
+    invariant checked by :mod:`repro.analysis.verify` — e.g. a cyclic
+    dependency graph, an unknown core id, or missing codec steps.
+
+    Carries the underlying findings on :attr:`findings` so callers can
+    inspect which invariant codes fired."""
+
+    def __init__(self, message: str, findings=()):
+        super().__init__(message)
+        self.findings = tuple(findings)
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 

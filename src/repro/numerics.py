@@ -1,0 +1,38 @@
+"""Deterministic numeric reductions.
+
+Floating-point addition is not associative, so the *order* in which a
+sequence of energies or latencies is reduced changes the low bits of the
+result. Every invariant this reproduction tests — serial == parallel ==
+warm-cache equality, traced == untraced byte-identity, CStream ≤ CS —
+therefore requires accumulations over per-task/per-core quantities to be
+*order-pinned*: the reduction order must be a deterministic function of
+the inputs, never of set/hash ordering or thread interleaving.
+
+:func:`ordered_sum` is that contract made explicit. It computes exactly
+what ``sum(values)`` computes over the same iteration order (a plain
+left fold — no re-sorting, no pairwise tree, so swapping it in never
+changes an existing result), but its call sites assert "this order is
+deliberate". The determinism linter (rule ``CSA005`` in
+:mod:`repro.analysis.lint`) flags bare ``sum()`` over energy/latency
+sequences in the simulation and scheduling packages and points here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["ordered_sum"]
+
+
+def ordered_sum(values: Iterable[float], start: float = 0.0) -> float:
+    """Left-fold sum of ``values`` in their iteration order.
+
+    Identical to ``sum(values, start)`` — the point is the name: callers
+    guarantee the iterable's order is deterministic (a tuple, a list, an
+    insertion-ordered dict's ``.values()``), making energy/latency
+    accumulation reproducible bit-for-bit across runs and processes.
+    """
+    total = start
+    for value in values:
+        total += value
+    return total

@@ -7,10 +7,18 @@ smoke cell before uploading the trace as an artifact::
     python -m repro.obs.check trace.json
 
 Exit status 0 means the file is a loadable trace with well-formed
-events; 1 lists every violation found. The checks mirror what Perfetto
-and ``chrome://tracing`` require to render the file: known phases,
-numeric non-negative timestamps/durations, integer pid/tid, args of the
-right shape per phase.
+events; 1 lists every violation found. The checks come in two layers:
+
+* **schema** — what Perfetto and ``chrome://tracing`` require to render
+  the file: known phases, numeric non-negative timestamps/durations,
+  integer pid/tid, args of the right shape per phase;
+* **stream invariants** — delegated to
+  :func:`repro.analysis.verify.verify_chrome_payload` (itself
+  stdlib-only, so this module stays dependency-free) so the two tools
+  cannot drift: per-track non-decreasing timestamps, monotone energy
+  counters, non-overlapping spans (``TRC001``-``TRC005``). Only
+  error-severity findings fail validation; warnings (e.g. ``TRC004``
+  same-timestamp counter pairs) are the verifier CLI's business.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ import json
 import numbers
 import sys
 from typing import Any, List
+
+from repro.analysis.verify import verify_chrome_payload
 
 __all__ = ["validate_trace", "main"]
 
@@ -89,6 +99,9 @@ def validate_trace(payload: Any) -> List[str]:
         isinstance(e, dict) and e.get("ph") not in (None, "M") for e in events
     ):
         problems.append("top level: no non-metadata events recorded")
+    for finding in verify_chrome_payload(payload):
+        if finding.severity == "error":
+            problems.append(finding.format())
     return problems
 
 

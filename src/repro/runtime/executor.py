@@ -32,14 +32,15 @@ byte-identical to an untraced run's (tests assert this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from repro.compression.base import StepCost
 from repro.core.plan import SchedulingPlan
 from repro.errors import ConfigurationError
+from repro.numerics import ordered_sum
 from repro.obs.trace import TraceRecorder, set_active_recorder
 from repro.runtime.metrics import BatchMetrics, RepetitionResult, RunResult
 from repro.simcore.boards import BoardSpec
@@ -368,7 +369,7 @@ class PipelineExecutor:
         # configuration.
         stage_locks: Dict[int, Store] = {}
         if config.shared_state:
-            for stage_index in shared_state_stages:
+            for stage_index in sorted(shared_state_stages):
                 lock = Store(simulator, capacity=1)
                 lock.put(object())
                 stage_locks[stage_index] = lock
@@ -608,7 +609,7 @@ class PipelineExecutor:
         board = self.board
         batch_count = len(completions)
         window_us = max(completions.values())
-        static_power = board.uncore_power_w + sum(
+        static_power = board.uncore_power_w + ordered_sum(
             core.static_power_w for core in board.cores
         )
 

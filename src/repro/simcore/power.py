@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import SimulationError
+from repro.numerics import ordered_sum
 from repro.simcore.boards import BoardSpec
 
 __all__ = ["EnergyMeter", "EnergyBreakdown"]
@@ -99,11 +100,11 @@ class EnergyMeter:
         if window_us < 0:
             raise SimulationError("measurement window must be non-negative")
         self._finalized_window = window_us
-        static_power = self.board.uncore_power_w + sum(
+        static_power = self.board.uncore_power_w + ordered_sum(
             core.static_power_w for core in self.board.cores
         )
         return EnergyBreakdown(
-            busy_uj=sum(self._busy_uj.values()),
+            busy_uj=ordered_sum(self._busy_uj.values()),
             static_uj=static_power * window_us,
             overhead_uj=self._overhead_uj,
         )
@@ -118,7 +119,7 @@ class EnergyMeter:
         This is what the INA226 stream would look like: busy power of all
         overlapping intervals plus the constant static floor.
         """
-        static_power = self.board.uncore_power_w + sum(
+        static_power = self.board.uncore_power_w + ordered_sum(
             core.static_power_w for core in self.board.cores
         )
         samples: List[Tuple[float, float]] = []

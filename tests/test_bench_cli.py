@@ -1,6 +1,5 @@
 """The bench CLI (`python -m repro.bench`)."""
 
-import pytest
 
 from repro.bench.__main__ import main
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.simcore.boards import BoardSpec, rk3399
-from repro.simcore.hardware import ClusterSpec, CoreSpec, CoreType
+from repro.simcore.hardware import ClusterSpec, CoreType
 from repro.simcore.interconnect import Path
 
 

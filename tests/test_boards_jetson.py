@@ -3,7 +3,6 @@
 import pytest
 
 from repro.simcore.boards import jetson_tx2_like, rk3399
-from repro.simcore.hardware import CoreType
 from repro.simcore.interconnect import Path
 
 

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.cli import main
 from repro.obs.check import validate_trace

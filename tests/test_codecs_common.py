@@ -1,6 +1,5 @@
 """Cross-codec contracts: every registered codec honours the same API."""
 
-import numpy as np
 import pytest
 
 from repro.compression import CODEC_NAMES, get_codec

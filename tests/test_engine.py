@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simcore.engine import Event, Simulator, Store
+from repro.simcore.engine import Simulator, Store
 
 
 class TestClock:

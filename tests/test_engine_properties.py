@@ -1,6 +1,5 @@
 """Stress and property tests for the discrete-event engine."""
 
-import heapq
 
 import pytest
 from hypothesis import given, settings

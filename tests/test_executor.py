@@ -1,6 +1,5 @@
 """Pipeline executor semantics on the simulated board."""
 
-import numpy as np
 import pytest
 
 from repro.core.plan import SchedulingPlan

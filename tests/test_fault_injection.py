@@ -1,6 +1,5 @@
 """Thermal-throttling fault injection."""
 
-import numpy as np
 import pytest
 
 from repro.core.plan import SchedulingPlan

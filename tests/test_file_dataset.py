@@ -1,6 +1,5 @@
 """File-backed trace datasets."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import FileDataset, get_dataset

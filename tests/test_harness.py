@@ -1,6 +1,5 @@
 """Experiment harness: specs, caching, tables."""
 
-import pytest
 
 from repro.bench.harness import (
     PAPER_BATCH_BYTES,

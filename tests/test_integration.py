@@ -3,7 +3,6 @@
 import pytest
 
 from repro import CStream
-from repro.bench.harness import WorkloadSpec
 from repro.compression import CODEC_NAMES, get_codec
 from repro.datasets import DATASET_NAMES, get_dataset
 

@@ -26,19 +26,22 @@ def small_recorder() -> TraceRecorder:
     """A hand-driven recorder standing in for one 2-batch repetition."""
     recorder = TraceRecorder()
     recorder.begin_repetition(0)
+    # Emission order follows simulated time per track, as the DES would
+    # produce it — repro.analysis.verify checks this (TRC001) via
+    # repro.obs.check on every exported trace.
     recorder.span("compress", 1, 0.0, 100.0, batch=0)
-    recorder.span("compress", 1, 120.0, 220.0, batch=1)
-    recorder.span("flush", 2, 100.0, 140.0, batch=0)
-    recorder.context_switch(1, 2.5, 220.0)
-    recorder.context_switch(2, 1.0, 230.0, duration_us=10.0)
-    recorder.migration(2, 150.0)
+    recorder.queue_depth("q.s1r0.p0", 3, 50.0)
     recorder.dvfs_transition(1, 1416.0, 1800.0, 60.0)
     recorder.fault(2, 80.0, 600.0)
-    recorder.queue_depth("q.s1r0.p0", 3, 50.0)
     recorder.queue_depth("q.s1r0.p0", 1, 90.0)
     recorder.energy_sample("busy", 40.0, 100.0)
     recorder.energy_sample("overhead", 2.0, 100.0)
+    recorder.span("flush", 2, 100.0, 140.0, batch=0)
+    recorder.span("compress", 1, 120.0, 220.0, batch=1)
     recorder.batch_complete(0, 140.0)
+    recorder.migration(2, 150.0)
+    recorder.context_switch(1, 2.5, 220.0)
+    recorder.context_switch(2, 1.0, 230.0, duration_us=10.0)
     recorder.batch_complete(1, 240.0)
     recorder.end_repetition(window_us=240.0, batch_bytes=1 << 19, batches=2)
     return recorder

@@ -6,8 +6,6 @@ serial, parallel and warm-cache execution of the same grid produce
 identical ``RunResult`` numbers for every cell.
 """
 
-import os
-import pickle
 
 import pytest
 

@@ -5,9 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.compression import Tdic32, get_codec
+from repro.compression import Tdic32
 from repro.compression.partitioned import PartitionedCodec
-from repro.datasets import MicroDataset, get_dataset
+from repro.datasets import MicroDataset
 from repro.errors import CompressionError, CorruptStreamError
 
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.roofline import FittedPiecewise, fit_piecewise
+from repro.core.roofline import fit_piecewise
 from repro.errors import ProfilingError
 from repro.simcore.boards import rk3399
 from repro.simcore.hardware import CoreType

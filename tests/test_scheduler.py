@@ -4,10 +4,8 @@ import itertools
 
 import pytest
 
-from repro.core.cost_model import CostModel
 from repro.core.plan import SchedulingPlan
 from repro.core.scheduler import Scheduler
-from repro.core.task import TaskGraph
 from repro.errors import InfeasiblePlanError
 
 
