@@ -5,6 +5,9 @@ cache, then re-runs it on the warm cache, and writes the trajectory
 record ``BENCH_harness.json`` (cells/sec, speedup vs serial, cache-hit
 rate, and a per-phase wall-clock breakdown — profiling vs simulation vs
 cache I/O vs plan search — from :data:`repro.obs.registry.REGISTRY`).
+Also times cold vs warm-started replanning on a drifted cost model and
+records the warm-start hit rate, so the perf trajectory tracks the
+scheduler-search cost the online control loop pays per replan.
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_harness_scaling.py
@@ -100,6 +103,64 @@ def grid_phases(before, after):
     }
 
 
+def bench_replanning(rounds: int = 5):
+    """Cold vs warm-started replanning on a drifted model.
+
+    Schedules a workload once, then replays ``rounds`` drift
+    recalibrations (alternating per-stage latency-scale shifts), timing
+    a cold ``schedule()`` against a warm ``schedule(warm_start=incumbent)``
+    on an identical model each round. Records wall-clock plus the
+    warm-start hit rate (branches only the incumbent bound could cut,
+    over all pruned branches) — the scheduler-search cost trajectory the
+    control loop's replans ride on.
+    """
+    from repro.bench.harness import default_harness
+    from repro.core.scheduler import Scheduler
+
+    harness = default_harness()
+    spec = WorkloadSpec.of("tcomp32", "rovio", batch_size=BENCH_BATCH_BYTES)
+    context = harness.context(spec)
+
+    cold_model = context.cost_model(context.fine_graph)
+    warm_model = context.cost_model(context.fine_graph)
+    scheduler = Scheduler(warm_model)  # keeps its floor cache across rounds
+    incumbent = scheduler.schedule(best_effort=True).estimate.plan
+
+    cold_seconds = 0.0
+    warm_seconds = 0.0
+    warm_hits = 0
+    pruned = 0
+    for round_index in range(rounds):
+        # Alternate drift directions so replans see real shifts.
+        scale = 1.25 if round_index % 2 == 0 else 0.8
+        stage = round_index % warm_model.graph.stage_count
+        for model in (cold_model, warm_model):
+            model.latency_scale[stage] = (
+                model.latency_scale.get(stage, 1.0) * scale
+            )
+
+        started = time.perf_counter()
+        Scheduler(cold_model).schedule(best_effort=True)
+        cold_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = scheduler.schedule(best_effort=True, warm_start=incumbent)
+        warm_seconds += time.perf_counter() - started
+        incumbent = result.estimate.plan
+        warm_hits += result.search_stats.warm_start_hits
+        pruned += result.search_stats.branches_pruned
+
+    return {
+        "rounds": rounds,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2)
+        if warm_seconds > 0 else None,
+        "warm_start_hits": warm_hits,
+        "warm_start_hit_rate": round(warm_hits / pruned, 4) if pruned else 0.0,
+    }
+
+
 def run_scaling(jobs_list, repetitions, quick, output):
     specs, mechanisms = build_grid(quick)
     cells = len(specs) * len(mechanisms)
@@ -177,6 +238,14 @@ def run_scaling(jobs_list, repetitions, quick, output):
             "phases": warm_phases,
         }
 
+    replanning = bench_replanning()
+    print(
+        f"replanning x{replanning['rounds']}: "
+        f"cold {replanning['cold_seconds']:.2f}s vs "
+        f"warm {replanning['warm_seconds']:.2f}s "
+        f"({replanning['warm_start_hit_rate']:.0%} warm-start hit rate)"
+    )
+
     record = {
         "bench": "harness_scaling",
         "grid": {
@@ -189,6 +258,7 @@ def run_scaling(jobs_list, repetitions, quick, output):
         "cpu_count": cpu_count,
         "runs": runs,
         "warm_cache": warm,
+        "replanning": replanning,
     }
     with open(output, "w") as sink:
         json.dump(record, sink, indent=2)
@@ -211,6 +281,13 @@ def test_harness_scaling():
     # breakdown in the record shows it
     assert record["runs"][0]["phases"]["harness.simulate"] > 0
     assert record["warm_cache"]["phases"].get("cache.get", 0) >= 0
+    # the replanning section tracks scheduler-search cost for the
+    # control loop: warm-started replans must record their wall-clock
+    # and at least register the incumbent-bound cuts
+    assert record["replanning"]["warm_seconds"] > 0
+    assert record["replanning"]["cold_seconds"] > 0
+    assert record["replanning"]["warm_start_hits"] >= 0
+    assert 0.0 <= record["replanning"]["warm_start_hit_rate"] <= 1.0
 
 
 def main(argv=None) -> int:

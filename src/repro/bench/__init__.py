@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.bench.exp_adaptive import adaptive_drift
 from repro.bench.exp_ablations import (
     abl_boards,
     abl_fusion,
@@ -65,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig7": fig07_energy,
     "fig8": fig08_clcv,
     "fig9": fig09_adaptivity,
+    "adaptive": adaptive_drift,
     "fig10": fig10_latency_constraint,
     "fig11": fig11_batch_size,
     "fig12": fig12_vocabulary_duplication,

@@ -1,0 +1,82 @@
+"""Adaptive experiment: the online control loop vs the static plan.
+
+Not a figure from the paper — §V-D's future-work controller made real.
+Each row is one drift scenario (ramp / burst / phase-shift of Micro's
+dynamic range); columns compare the static one-shot plan against the
+adaptive session (drift detection → warm-started incremental replan →
+migration-gated adoption) on energy and constraint violations, with the
+controller's decision log in the extras.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.harness import Harness, default_harness
+from repro.control import SessionSpec, run_adaptive_session
+from repro.datasets import DRIFT_KINDS
+
+__all__ = ["adaptive_drift"]
+
+
+def adaptive_drift(
+    harness: Optional[Harness] = None,
+    batches: int = 18,
+    window_batches: int = 3,
+    latency_constraint: float = 20.0,
+) -> ExperimentResult:
+    """Adaptive vs static energy/violations across drift scenarios."""
+    harness = harness or default_harness()
+    rows = []
+    extras = {"comparisons": {}, "events": {}}
+    for scenario in DRIFT_KINDS:
+        comparison = run_adaptive_session(
+            harness,
+            SessionSpec(
+                scenario=scenario,
+                batches=batches,
+                window_batches=window_batches,
+                latency_constraint=latency_constraint,
+            ),
+        )
+        extras["comparisons"][scenario] = comparison
+        extras["events"][scenario] = [
+            (event.window_index, event.reason, event.adopted)
+            for event in comparison.controller_events
+        ]
+        rows.append(
+            (
+                scenario,
+                f"{comparison.static_energy_uj_per_byte:.4f}",
+                f"{comparison.adaptive_energy_uj_per_byte:.4f}",
+                f"{comparison.energy_saving:.1%}",
+                f"{comparison.static_steady_violations}",
+                f"{comparison.adaptive_steady_violations}",
+                f"{comparison.adaptive.plans_adopted}",
+                f"{comparison.warm_start_hits}",
+            )
+        )
+    phase = extras["comparisons"]["phase-shift"]
+    return ExperimentResult(
+        experiment_id="adaptive",
+        title=(
+            f"online control loop under drift (tcomp32-micro, "
+            f"L_set={latency_constraint} µs/byte, "
+            f"{window_batches}-batch windows)"
+        ),
+        headers=(
+            "scenario", "E static", "E adaptive", "saving",
+            "steady CLCV static", "steady CLCV adaptive",
+            "plans adopted", "warm-start hits",
+        ),
+        rows=rows,
+        note=(
+            f"phase-shift: adaptive saves {phase.energy_saving:.0%} energy "
+            f"and cuts steady-state violations "
+            f"{phase.static_steady_violations} -> "
+            f"{phase.adaptive_steady_violations}; boundary batches pay the "
+            "window-drain pipeline refill in both arms"
+        ),
+        extras=extras,
+    )

@@ -21,6 +21,10 @@ Subcommands
     ``python -m repro.bench``), with ``--jobs N`` process-parallel grid
     execution, a ``--cache-dir`` persistent result cache and a
     ``--trace-dir`` that traces every computed cell.
+``adapt``
+    Run the online control loop on a drifting workload and compare the
+    adaptive session (drift detection, warm-started replanning,
+    migration-gated plan adoption) against the static one-shot plan.
 ``analyze``
     Run the static-analysis suite: the determinism linter
     (``repro.analysis.lint``, rules CSA001-CSA008) over source paths
@@ -42,7 +46,7 @@ from repro.compression import CODEC_NAMES, get_codec
 from repro.compression.stream import CompressionSession, DecompressionSession
 from repro.core.baselines import MECHANISM_NAMES, get_mechanism
 from repro.core.scheduler import Scheduler
-from repro.datasets import DATASET_NAMES
+from repro.datasets import DATASET_NAMES, DRIFT_KINDS
 from repro.errors import ReproError
 from repro.runtime.visualize import render_gantt, render_plan
 from repro.simcore.boards import jetson_tx2_like, rk3399
@@ -153,6 +157,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        "cell (default: REPRO_TRACE_DIR, else none)")
     bench.add_argument("--output", default="results.md",
                        help="report output path (only with 'report')")
+
+    adapt = commands.add_parser(
+        "adapt",
+        help="run an adaptive vs static session on a drifting workload",
+    )
+    adapt.add_argument("--codec", choices=CODEC_NAMES, default="tcomp32")
+    adapt.add_argument("--scenario", choices=DRIFT_KINDS,
+                       default="phase-shift")
+    adapt.add_argument("--board", choices=sorted(_BOARDS), default="rk3399")
+    adapt.add_argument("--batches", type=int, default=18)
+    adapt.add_argument("--window", type=int, default=3,
+                       help="batches per control window")
+    adapt.add_argument("--latency-constraint", type=float, default=20.0)
+    adapt.add_argument("--low-range", type=int, default=500)
+    adapt.add_argument("--high-range", type=int, default=50_000)
+    adapt.add_argument("--horizon", type=int, default=4,
+                       help="windows a migration must amortize over")
+    adapt.add_argument("--out", default=None,
+                       help="write the adaptive run's Chrome trace JSON")
 
     analyze = commands.add_parser(
         "analyze",
@@ -359,6 +382,79 @@ def _command_bench(args) -> int:
     return bench_main(argv)
 
 
+def _command_adapt(args) -> int:
+    from repro.control import (
+        ControllerConfig,
+        SessionSpec,
+        run_adaptive_session,
+    )
+    from repro.obs.trace import TraceRecorder
+
+    board = _BOARDS[args.board]()
+    harness = Harness(board=board)
+    spec = SessionSpec(
+        codec=args.codec,
+        scenario=args.scenario,
+        batches=args.batches,
+        window_batches=args.window,
+        latency_constraint=args.latency_constraint,
+        low_range=args.low_range,
+        high_range=args.high_range,
+        controller=ControllerConfig(horizon_windows=args.horizon),
+    )
+    recorder = TraceRecorder() if args.out is not None else None
+    comparison = run_adaptive_session(harness, spec, trace=recorder)
+    print(
+        f"{spec.codec} on drifting micro ({spec.scenario}, "
+        f"range {spec.low_range} -> {spec.high_range}, "
+        f"L_set={spec.latency_constraint} µs/byte, {board.name}):"
+    )
+    rows = [
+        ("", "static", "adaptive"),
+        (
+            "energy (µJ/byte)",
+            f"{comparison.static_energy_uj_per_byte:.4f}",
+            f"{comparison.adaptive_energy_uj_per_byte:.4f}",
+        ),
+        (
+            "violations",
+            f"{comparison.static_violations}",
+            f"{comparison.adaptive_violations}",
+        ),
+        (
+            "steady-state violations",
+            f"{comparison.static_steady_violations}",
+            f"{comparison.adaptive_steady_violations}",
+        ),
+    ]
+    for label, static_value, adaptive_value in rows:
+        print(f"  {label:24s} {static_value:>10s} {adaptive_value:>10s}")
+    print(
+        f"  energy saving: {comparison.energy_saving:.1%}  "
+        f"(replans: {comparison.adaptive.replans}, "
+        f"adopted: {comparison.adaptive.plans_adopted}, "
+        f"warm-start hits: {comparison.warm_start_hits})"
+    )
+    for event in comparison.controller_events:
+        verdict = "adopt" if event.adopted else "keep"
+        print(
+            f"  window {event.window_index}: {verdict} ({event.reason}; "
+            f"incumbent {event.incumbent_energy_uj_per_byte:.3f} vs "
+            f"candidate {event.candidate_energy_uj_per_byte:.3f} µJ/byte, "
+            f"pause {event.migration_pause_us / 1000.0:.1f} ms)"
+        )
+    if recorder is not None:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(recorder, args.out, board=board)
+        print(
+            f"wrote {len(recorder.events)} events to {args.out} "
+            f"({recorder.replans} replans, "
+            f"{recorder.plan_migrations} migrations)"
+        )
+    return 0
+
+
 def _command_analyze(args) -> int:
     import repro
     from repro.analysis import lint, verify
@@ -398,6 +494,7 @@ def main(argv=None) -> int:
         "simulate": _command_simulate,
         "trace": _command_trace,
         "bench": _command_bench,
+        "adapt": _command_adapt,
         "analyze": _command_analyze,
         "boards": _command_boards,
     }

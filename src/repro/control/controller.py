@@ -1,0 +1,226 @@
+"""The session controller: drift → warm replan → gated migration.
+
+Decision pipeline, run once per window boundary (the executor calls
+:meth:`SessionController.on_window` after draining the window's
+in-flight batches):
+
+1. **Drift detection** — the window's per-batch step costs feed a
+   :class:`~repro.core.statistics_regulator.StatisticsAwareRegulator`
+   in detect-only mode (``auto_replan=False``). The regulator owns the
+   hysteresis and the one-step model recalibration
+   (``latency_scale[stage] *= observed / baseline``); the controller
+   owns what happens next.
+2. **Incremental replanning** — on drift, a single shared
+   :class:`~repro.core.scheduler.Scheduler` re-searches with
+   ``warm_start=incumbent``: the incumbent's re-evaluated energy seeds
+   the branch-and-bound bound (strict-``>`` pruning, so ties keep the
+   incumbent) and the scheduler's per-stage energy-floor cache carries
+   over — floors depend on κ scales, not on the recalibrated
+   ``latency_scale``, so they survive drift recalibration.
+3. **Migration gating** — the candidate is adopted only when the
+   modeled energy savings over ``horizon_windows`` windows exceed the
+   modeled migration cost (state transfer over the board's c0/c1/c2
+   paths, priced with the profiled communication table, plus the
+   pipeline-pause energy at static power). Exception: a candidate that
+   rescues a violated latency constraint is adopted unconditionally —
+   meeting ``L_set`` trumps the energy ledger.
+
+Everything is deterministic: the controller draws no randomness and
+reads no clocks; its only inputs are the window observation and the
+pre-built per-batch step costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from repro.compression.base import StepCost
+from repro.core.cost_model import CostModel
+from repro.core.plan import SchedulingPlan, migration_cost
+from repro.core.scheduler import Scheduler
+from repro.core.statistics_regulator import StatisticsAwareRegulator
+from repro.errors import ConfigurationError
+from repro.numerics import ordered_sum
+from repro.runtime.executor import WindowDecision, WindowObservation
+
+__all__ = ["ControllerConfig", "ControlEvent", "SessionController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Knobs of the online control loop."""
+
+    #: relative per-stage work shift that counts as drift (the
+    #: regulator's trigger; 15 % is above batch noise, below real jumps)
+    trigger_threshold: float = 0.15
+    #: EWMA factor on observed statistics (0 = trust each batch)
+    smoothing: float = 0.3
+    #: windows over which a candidate plan must amortize its migration
+    horizon_windows: int = 4
+    #: modeled savings must exceed migration cost by this factor
+    min_saving_ratio: float = 1.0
+    #: multiplier on the profiled per-stage output bytes standing in for
+    #: the replica state footprint — the migratable state (dictionary,
+    #: counters, partial window) is a fraction of one batch's output
+    state_bytes_scale: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.horizon_windows < 1:
+            raise ConfigurationError("horizon must span at least one window")
+        if self.min_saving_ratio <= 0.0:
+            raise ConfigurationError("min_saving_ratio must be positive")
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """One window-boundary decision, for reporting and tests."""
+
+    window_index: int
+    drifted: bool
+    replanned: bool
+    adopted: bool
+    reason: str
+    incumbent_energy_uj_per_byte: float
+    candidate_energy_uj_per_byte: float
+    modeled_saving_uj: float
+    migration_cost_uj: float
+    migration_pause_us: float
+    warm_start_hits: int
+
+
+class SessionController:
+    """Owns the plan across a windowed session (duck-typed into
+    :meth:`~repro.runtime.executor.PipelineExecutor.run_session`)."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        per_batch_step_costs: Sequence[Mapping[str, StepCost]],
+        batch_bytes: int,
+        config: ControllerConfig = ControllerConfig(),
+        plan: Optional[SchedulingPlan] = None,
+    ) -> None:
+        self.model = model
+        self.per_batch_step_costs = per_batch_step_costs
+        self.batch_bytes = batch_bytes
+        self.config = config
+        # One scheduler for the whole session: its energy-floor cache
+        # and warm-start bounds are what make replans incremental.
+        self.scheduler = Scheduler(model)
+        self.regulator = StatisticsAwareRegulator(
+            model,
+            trigger_threshold=config.trigger_threshold,
+            smoothing=config.smoothing,
+            auto_replan=False,
+            scheduler=self.scheduler,
+        )
+        self.plan: SchedulingPlan = (
+            plan if plan is not None else self.regulator.plan
+        )
+        self.events: List[ControlEvent] = []
+        self.replans = 0
+        self.plans_adopted = 0
+        self.warm_start_hits = 0
+        self._state_bytes = {
+            stage: model.stage_output_bytes(stage) * config.state_bytes_scale
+            for stage in range(model.graph.stage_count)
+        }
+        board = model.board
+        #: W == µJ/µs: prices the pipeline pause a migration causes
+        self._static_power_w = board.uncore_power_w + ordered_sum(
+            core.static_power_w for core in board.cores
+        )
+
+    # -- executor callback ---------------------------------------------------
+
+    def on_window(
+        self, observation: WindowObservation
+    ) -> Optional[WindowDecision]:
+        """Digest one completed window; maybe hand back a plan swap."""
+        drifted = False
+        for batch_index in range(
+            observation.batch_start,
+            observation.batch_start + observation.batch_count,
+        ):
+            event = self.regulator.observe(
+                batch_index, self.per_batch_step_costs[batch_index]
+            )
+            drifted = drifted or event.drifted
+        if not drifted:
+            return None
+        return self._replan(observation)
+
+    # -- internals -----------------------------------------------------------
+
+    def _replan(self, observation: WindowObservation) -> WindowDecision:
+        self.replans += 1
+        incumbent = self.model.evaluate(self.plan)
+        result = self.scheduler.schedule(
+            best_effort=True, warm_start=self.plan
+        )
+        candidate = result.estimate
+        hits = (
+            result.search_stats.warm_start_hits
+            if result.search_stats is not None
+            else 0
+        )
+        self.warm_start_hits += hits
+
+        delta = self.plan.diff(candidate.plan)
+        cost = migration_cost(
+            delta,
+            self.model.board,
+            self.model.communication,
+            self._state_bytes,
+        )
+        window_bytes = float(self.batch_bytes * observation.batch_count)
+        saving_uj = (
+            incumbent.energy_uj_per_byte - candidate.energy_uj_per_byte
+        ) * window_bytes * self.config.horizon_windows
+        cost_uj = cost.energy_uj + cost.pause_us * self._static_power_w
+
+        rescue = not incumbent.feasible and candidate.feasible
+        if delta.is_empty:
+            adopted = False
+            reason = "incumbent-optimal"
+        elif rescue:
+            adopted = True
+            reason = "constraint-rescue"
+        elif saving_uj > cost_uj * self.config.min_saving_ratio:
+            adopted = True
+            reason = "amortized-saving"
+        else:
+            adopted = False
+            reason = "migration-too-costly"
+
+        self.events.append(
+            ControlEvent(
+                window_index=observation.window_index,
+                drifted=True,
+                replanned=True,
+                adopted=adopted,
+                reason=reason,
+                incumbent_energy_uj_per_byte=incumbent.energy_uj_per_byte,
+                candidate_energy_uj_per_byte=candidate.energy_uj_per_byte,
+                modeled_saving_uj=saving_uj,
+                migration_cost_uj=cost_uj,
+                migration_pause_us=cost.pause_us,
+                warm_start_hits=hits,
+            )
+        )
+        if adopted:
+            self.plans_adopted += 1
+            self.plan = candidate.plan
+        return WindowDecision(
+            replanned=True,
+            adopted=adopted,
+            reason=reason,
+            plan=candidate.plan if adopted else None,
+            pause_us=cost.pause_us if adopted else 0.0,
+            energy_uj=cost.energy_uj if adopted else 0.0,
+            moved_replicas=cost.moved_replicas,
+            moves=delta.describe(),
+            energy_uj_per_byte=candidate.energy_uj_per_byte,
+            warm_start_hits=hits,
+        )

@@ -1,0 +1,216 @@
+"""Adaptive-vs-static sessions over drift scenarios.
+
+Glue used by ``cstream adapt`` and :mod:`repro.bench.exp_adaptive`:
+build a drifting per-batch cost stream from a
+:func:`~repro.datasets.micro.drift_schedule`, then run the same windowed
+session twice — once with the static one-shot plan all the way through
+(``controller=None``) and once under a
+:class:`~repro.control.controller.SessionController` — and compare
+energy and constraint violations batch for batch. Both sessions share
+the window structure, so the only difference between them is the
+control loop itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.compression import get_codec
+from repro.compression.base import StepCost
+from repro.control.controller import ControllerConfig, SessionController
+from repro.core.profiler import profile_workload
+from repro.core.scheduler import Scheduler
+from repro.datasets import DRIFT_KINDS, MicroDataset, drift_schedule
+from repro.errors import ConfigurationError
+from repro.runtime.executor import (
+    ExecutionConfig,
+    PipelineExecutor,
+    SessionResult,
+)
+
+__all__ = [
+    "SessionSpec",
+    "SessionComparison",
+    "build_drift_stream",
+    "run_adaptive_session",
+]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One drift scenario for an adaptive session."""
+
+    codec: str = "tcomp32"
+    scenario: str = "phase-shift"
+    batches: int = 18
+    window_batches: int = 3
+    warmup_batches: int = 2
+    latency_constraint: float = 20.0
+    low_range: int = 500
+    high_range: int = 50_000
+    controller: ControllerConfig = ControllerConfig()
+
+    def __post_init__(self) -> None:
+        if self.scenario not in DRIFT_KINDS:
+            raise ConfigurationError(
+                f"unknown scenario {self.scenario!r}; "
+                f"expected one of {DRIFT_KINDS}"
+            )
+        if self.window_batches < 1:
+            raise ConfigurationError("window must hold at least one batch")
+        if self.warmup_batches >= self.batches:
+            raise ConfigurationError("warmup must leave measurable batches")
+
+
+@dataclass(frozen=True)
+class SessionComparison:
+    """Static vs adaptive outcome on one drift scenario."""
+
+    spec: SessionSpec
+    static: SessionResult
+    adaptive: SessionResult
+    static_energy_uj_per_byte: float
+    adaptive_energy_uj_per_byte: float
+    static_violations: int
+    adaptive_violations: int
+    #: violations among *steady-state* batches only — a drained
+    #: window's first batch pays the full pipeline traversal (no
+    #: overlap with the previous window) in both arms alike, so the
+    #: constraint story is read off the non-boundary batches
+    static_steady_violations: int
+    adaptive_steady_violations: int
+    controller_events: Tuple
+    warm_start_hits: int
+
+    @property
+    def energy_saving(self) -> float:
+        if self.static_energy_uj_per_byte == 0.0:
+            return 0.0
+        return 1.0 - (
+            self.adaptive_energy_uj_per_byte / self.static_energy_uj_per_byte
+        )
+
+
+def build_drift_stream(
+    harness, spec: SessionSpec
+) -> Tuple[object, List[Mapping[str, StepCost]], int]:
+    """The drifting per-batch cost stream plus its workload context.
+
+    Profiles one Micro variant per distinct ``dynamic_range`` in the
+    schedule (deterministic seeds derived from the harness seed) and
+    assembles the per-batch step costs batch by batch. The returned
+    context is profiled at ``low_range`` — the regime the static plan is
+    optimized for, exactly as a one-shot deployment would be.
+    """
+    from repro.bench.harness import WorkloadSpec
+
+    workload = WorkloadSpec.of(
+        spec.codec,
+        "micro",
+        dataset_options={"dynamic_range": spec.low_range},
+        latency_constraint=spec.latency_constraint,
+    )
+    context = harness.context(workload)
+    ranges = drift_schedule(
+        spec.scenario, spec.batches, low=spec.low_range, high=spec.high_range
+    )
+    profiles = {}
+    for index, value in enumerate(sorted(set(ranges))):
+        profiles[value] = profile_workload(
+            get_codec(spec.codec),
+            MicroDataset(dynamic_range=value),
+            workload.batch_size,
+            batches=3,
+            seed=harness.seed + 1 + index,
+        )
+    stream: List[Mapping[str, StepCost]] = []
+    for batch_index, value in enumerate(ranges):
+        per_batch = profiles[value].per_batch_step_costs
+        stream.append(per_batch[batch_index % len(per_batch)])
+    return context, stream, workload.batch_size
+
+
+def run_adaptive_session(
+    harness=None,
+    spec: SessionSpec = SessionSpec(),
+    trace=None,
+) -> SessionComparison:
+    """Run one drift scenario statically and adaptively and compare.
+
+    ``trace`` (a :class:`~repro.obs.trace.TraceRecorder`) is attached to
+    the *adaptive* session only — that is the run whose replan and
+    migration events are worth inspecting.
+    """
+    if harness is None:
+        from repro.bench.harness import default_harness
+
+        harness = default_harness()
+    context, stream, batch_bytes = build_drift_stream(harness, spec)
+
+    config = ExecutionConfig(
+        latency_constraint_us_per_byte=spec.latency_constraint,
+        repetitions=1,
+        batches_per_repetition=spec.batches,
+        warmup_batches=spec.warmup_batches,
+        seed=harness.seed,
+    )
+
+    # Static arm: the one-shot plan for the profiled (pre-drift) regime.
+    static_model = context.cost_model(context.fine_graph)
+    static_plan = Scheduler(static_model).schedule(best_effort=True).estimate.plan
+    static_result = PipelineExecutor(harness.board, config).run_session(
+        static_plan,
+        stream,
+        batch_bytes,
+        window_batches=spec.window_batches,
+        controller=None,
+    )
+
+    # Adaptive arm: same initial plan, same windows, live controller.
+    adaptive_model = context.cost_model(context.fine_graph)
+    controller = SessionController(
+        adaptive_model,
+        stream,
+        batch_bytes,
+        config=spec.controller,
+        plan=static_plan,
+    )
+    adaptive_result = PipelineExecutor(
+        harness.board, config, trace=trace
+    ).run_session(
+        static_plan,
+        stream,
+        batch_bytes,
+        window_batches=spec.window_batches,
+        controller=controller,
+    )
+
+    def _summarize(result: SessionResult) -> Tuple[float, int, int]:
+        measured = result.measured(spec.warmup_batches)
+        energy = sum(b.energy_uj_per_byte for b in measured) / len(measured)
+        violations = sum(1 for b in measured if b.violated)
+        steady = sum(
+            1
+            for b in measured
+            if b.violated and b.batch_index % spec.window_batches != 0
+        )
+        return energy, violations, steady
+
+    static_energy, static_violations, static_steady = _summarize(static_result)
+    adaptive_energy, adaptive_violations, adaptive_steady = _summarize(
+        adaptive_result
+    )
+    return SessionComparison(
+        spec=spec,
+        static=static_result,
+        adaptive=adaptive_result,
+        static_energy_uj_per_byte=static_energy,
+        adaptive_energy_uj_per_byte=adaptive_energy,
+        static_violations=static_violations,
+        adaptive_violations=adaptive_violations,
+        static_steady_violations=static_steady,
+        adaptive_steady_violations=adaptive_steady,
+        controller_events=tuple(controller.events),
+        warm_start_hits=controller.warm_start_hits,
+    )

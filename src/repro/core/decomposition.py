@@ -21,7 +21,6 @@ from typing import List
 
 from repro.compression.base import StepCost
 from repro.core.profiler import CommunicationTable, WorkloadProfile
-from repro.core.roofline import FittedPiecewise
 from repro.core.task import Task, TaskGraph
 from repro.errors import ConfigurationError
 from repro.simcore.boards import BoardSpec
@@ -39,10 +38,8 @@ def best_case_compute_latency(
     """µs/byte of the fused-or-not candidate on its best core type."""
     kappa = cost.operational_intensity
     best = float("inf")
-    for core_type, curve in eta_curves.items():
-        eta = curve.value(kappa) if isinstance(curve, FittedPiecewise) else (
-            curve.value(kappa)
-        )
+    for curve in eta_curves.values():
+        eta = curve.value(kappa)
         best = min(best, cost.instructions / eta / batch_bytes)
     return best
 

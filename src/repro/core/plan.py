@@ -9,12 +9,21 @@ interchangeable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from repro.core.task import TaskGraph
 from repro.errors import ConfigurationError
+from repro.numerics import ordered_sum
 
-__all__ = ["SchedulingPlan", "TaskEstimate", "PlanEstimate"]
+__all__ = [
+    "SchedulingPlan",
+    "TaskEstimate",
+    "PlanEstimate",
+    "ReplicaMove",
+    "PlanDelta",
+    "MigrationCost",
+    "migration_cost",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +76,56 @@ class SchedulingPlan:
         for task, cores in zip(self.graph.tasks, self.assignments):
             parts.append(f"{task}@{list(cores)}")
         return " -> ".join(parts)
+
+    def diff(self, new_plan: "SchedulingPlan") -> "PlanDelta":
+        """Replica moves turning this plan into ``new_plan``.
+
+        Replicas of one stage are interchangeable, so the diff is a
+        per-stage multiset comparison: cores present in both plans stay
+        put, and the leftovers are paired source-to-destination in
+        sorted core order (deterministic, and near-optimal because the
+        pairing only prices inter-cluster hops, which sorting groups).
+        When the replication degree grows, the extra destinations split
+        state off an existing replica; when it shrinks, orphaned sources
+        merge their state into a surviving replica — both are still
+        moves with a concrete (from_core, to_core) pair to price.
+        """
+        if new_plan.graph != self.graph:
+            raise ConfigurationError(
+                "cannot diff plans built for different task graphs"
+            )
+        moves: List[ReplicaMove] = []
+        for stage, (old_cores, new_cores) in enumerate(
+            zip(self.assignments, new_plan.assignments)
+        ):
+            old_counts = _core_counts(old_cores)
+            new_counts = _core_counts(new_cores)
+            sources = _leftover(old_counts, new_counts)
+            destinations = _leftover(new_counts, old_counts)
+            paired = min(len(sources), len(destinations))
+            for index in range(paired):
+                moves.append(
+                    ReplicaMove(stage, sources[index], destinations[index])
+                )
+            survivors = sorted(set(new_cores)) or sorted(set(old_cores))
+            for index, destination in enumerate(destinations[paired:]):
+                # Growth: state splits off an existing replica.
+                donor_pool = sorted(set(old_cores)) or survivors
+                moves.append(
+                    ReplicaMove(
+                        stage,
+                        donor_pool[index % len(donor_pool)],
+                        destination,
+                    )
+                )
+            for index, source in enumerate(sources[paired:]):
+                # Shrink: orphaned state merges into a survivor.
+                moves.append(
+                    ReplicaMove(
+                        stage, source, survivors[index % len(survivors)]
+                    )
+                )
+        return PlanDelta(moves=tuple(moves))
 
     def validate(
         self,
@@ -152,3 +211,130 @@ class PlanEstimate:
         """The task replica with the highest estimated latency — the
         replication target of topologically-sorted iterative scaling."""
         return max(self.task_estimates, key=lambda est: est.l_us_per_byte)
+
+
+# -- plan diffing and migration costing (online control loop) ----------------
+
+
+def _core_counts(cores: Tuple[int, ...]) -> Dict[int, int]:
+    counts: Dict[int, int] = {}
+    for core in cores:
+        counts[core] = counts.get(core, 0) + 1
+    return counts
+
+
+def _leftover(counts: Dict[int, int], other: Dict[int, int]) -> List[int]:
+    """Cores of ``counts`` not matched by ``other``, sorted, with
+    multiplicity."""
+    cores: List[int] = []
+    for core in sorted(counts):
+        excess = counts[core] - other.get(core, 0)
+        cores.extend([core] * max(excess, 0))
+    return cores
+
+
+@dataclass(frozen=True)
+class ReplicaMove:
+    """One stage replica relocating from one core to another."""
+
+    stage_index: int
+    from_core: int
+    to_core: int
+
+
+@dataclass(frozen=True)
+class PlanDelta:
+    """The replica moves between an incumbent and a candidate plan.
+
+    Produced by :meth:`SchedulingPlan.diff`; priced by
+    :func:`migration_cost`. An empty delta means the candidate is a
+    relabeling of the incumbent and can be adopted for free.
+    """
+
+    moves: Tuple[ReplicaMove, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.moves
+
+    @property
+    def moved_replicas(self) -> int:
+        return len(self.moves)
+
+    def stages_touched(self) -> Tuple[int, ...]:
+        return tuple(sorted({move.stage_index for move in self.moves}))
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "no-op"
+        return ", ".join(
+            f"s{move.stage_index}:{move.from_core}->{move.to_core}"
+            for move in self.moves
+        )
+
+
+#: state ships in page-sized messages; each page pays the per-message
+#: energy of its path (the unit the dry-run communication table measures)
+_MIGRATION_PAGE_BYTES = 4096.0
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """Modeled cost of applying a :class:`PlanDelta` at a window boundary.
+
+    ``stall_us_by_core`` is the per-core pause while state transfers —
+    both endpoints of a move stall for the full transfer (synchronous
+    state handoff over the c0/c1/c2 path); independent moves on disjoint
+    cores overlap, so the pipeline pause is the per-core maximum, not
+    the sum.
+    """
+
+    stall_us_by_core: Tuple[Tuple[int, float], ...]
+    transfer_us: float
+    energy_uj: float
+    moved_replicas: int
+
+    @property
+    def pause_us(self) -> float:
+        """The window-boundary pipeline pause (slowest stalled core)."""
+        return max((stall for _, stall in self.stall_us_by_core), default=0.0)
+
+
+def migration_cost(
+    delta: PlanDelta,
+    board,
+    communication,
+    state_bytes_by_stage: Mapping[int, float],
+) -> MigrationCost:
+    """Price a plan delta: state transfer over the board's paths.
+
+    ``communication`` is the profiled
+    :class:`~repro.core.profiler.CommunicationTable` (Eq 7's unit costs
+    and overheads), so migration is priced with the same measurements
+    the scheduler plans with. ``state_bytes_by_stage`` maps each stage
+    to its transferable state footprint (working set + codec state);
+    stages absent from the mapping move for free.
+    """
+    stalls: Dict[int, float] = {}
+    energy_terms: List[float] = []
+    transfer_total = 0.0
+    for move in delta.moves:
+        if move.from_core == move.to_core:
+            continue
+        state_bytes = float(state_bytes_by_stage.get(move.stage_index, 0.0))
+        path = board.path_between(move.from_core, move.to_core)
+        transfer_us = (
+            state_bytes * communication.unit_cost(path)
+            + communication.overhead(path)
+        )
+        pages = max(state_bytes / _MIGRATION_PAGE_BYTES, 1.0)
+        energy_terms.append(communication.energy(path) * pages)
+        transfer_total += transfer_us
+        for core in (move.from_core, move.to_core):
+            stalls[core] = stalls.get(core, 0.0) + transfer_us
+    return MigrationCost(
+        stall_us_by_core=tuple(sorted(stalls.items())),
+        transfer_us=transfer_total,
+        energy_uj=ordered_sum(energy_terms),
+        moved_replicas=len(delta.moves),
+    )

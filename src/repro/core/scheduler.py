@@ -57,6 +57,9 @@ class SearchStats:
     plans_evaluated: int = 0
     scaling_rounds: int = 0
     wall_clock_s: float = 0.0
+    #: branches that only the warm-started incumbent bound could cut
+    #: (0 for cold searches; see :meth:`Scheduler.schedule`'s warm_start)
+    warm_start_hits: int = 0
 
     def as_pairs(self) -> Tuple[Tuple[str, float], ...]:
         """(name, value) pairs for trace summaries and reports."""
@@ -66,6 +69,7 @@ class SearchStats:
             ("plans_evaluated", float(self.plans_evaluated)),
             ("scaling_rounds", float(self.scaling_rounds)),
             ("wall_clock_s", self.wall_clock_s),
+            ("warm_start_hits", float(self.warm_start_hits)),
         )
 
 
@@ -100,8 +104,14 @@ class Scheduler:
         self._big = list(self.board.big_core_ids)
         #: instrumentation of the most recent :meth:`search` call
         self.last_search_counters: Dict[str, int] = {
-            "expanded": 0, "pruned": 0, "evaluated": 0,
+            "expanded": 0, "pruned": 0, "evaluated": 0, "warm_pruned": 0,
         }
+        # Per-stage energy minima reused across incremental replans: the
+        # floors depend only on replica counts and the energy-side model
+        # parameters (κ scales), not on the latency calibration the
+        # regulator adjusts, so a controller replanning after drift
+        # recomputes nothing here.
+        self._floor_cache: Dict[Tuple, List[float]] = {}
 
     # -- placement enumeration ---------------------------------------------
 
@@ -131,8 +141,44 @@ class Scheduler:
 
     # -- search ---------------------------------------------------------------
 
+    def _energy_floor_key(self, replica_counts: Tuple[int, ...]) -> Tuple:
+        """Cache key of the per-stage energy minima: the floors depend on
+        the replica counts and the κ scales (which shift each stage's
+        position on the ζ curve), never on the latency calibration."""
+        return (
+            replica_counts,
+            tuple(sorted(self.model.kappa_scale.items())),
+        )
+
+    def _stage_energy_floors(
+        self,
+        replica_counts: Tuple[int, ...],
+        stage_splits: List[List[Tuple[int, int]]],
+    ) -> List[float]:
+        key = self._energy_floor_key(replica_counts)
+        cached = self._floor_cache.get(key)
+        if cached is not None:
+            REGISTRY.inc("scheduler.floor_cache_hits")
+            return cached
+        floors: List[float] = []
+        for stage_index, splits in enumerate(stage_splits):
+            minima = []
+            for split in splits:
+                cores = self._assign_cores(split, {})
+                minima.append(
+                    ordered_sum(
+                        self.model.task_energy(stage_index, core, len(cores))
+                        for core in cores
+                    )
+                )
+            floors.append(min(minima) if minima else 0.0)
+        self._floor_cache[key] = floors
+        return floors
+
     def search(
-        self, replica_counts: Tuple[int, ...]
+        self,
+        replica_counts: Tuple[int, ...],
+        initial_bound: Optional[float] = None,
     ) -> Tuple[Optional[PlanEstimate], Optional[PlanEstimate], int]:
         """Enumerate plans for fixed replica counts, with pruning.
 
@@ -149,32 +195,32 @@ class Scheduler:
           are added, so branches are also cut for the min-latency search
           once both incumbents are unbeatable.
 
+        ``initial_bound`` seeds the energy bound with an incumbent
+        plan's energy *before any complete plan has been evaluated* —
+        this is how a warm-started incremental replan prunes from the
+        first branch. The bound is applied strictly (``>``), so an
+        equal-energy alternative is still explored and exactness is
+        preserved.
+
         Returns ``(best_feasible, min_latency, plans_evaluated)`` — the
         energy optimum among feasible plans (or None) and the
         latency-minimizing plan (used to locate the bottleneck stage for
         iterative scaling). After each call,
         :attr:`last_search_counters` holds the walk's instrumentation
         (``expanded`` branches descended, ``pruned`` branches cut,
-        ``evaluated`` complete plans); :meth:`schedule` aggregates them
-        into a :class:`SearchStats`.
+        ``evaluated`` complete plans, ``warm_pruned`` cuts only the
+        incumbent bound enabled); :meth:`schedule` aggregates them into
+        a :class:`SearchStats`.
         """
         graph = self.model.graph
         stage_splits = [
             list(self._stage_placements(r)) for r in replica_counts
         ]
-        # Independent per-stage energy minima for the lower bound.
-        stage_energy_floor: List[float] = []
-        for stage_index, splits in enumerate(stage_splits):
-            minima = []
-            for split in splits:
-                cores = self._assign_cores(split, {})
-                minima.append(
-                    ordered_sum(
-                        self.model.task_energy(stage_index, core, len(cores))
-                        for core in cores
-                    )
-                )
-            stage_energy_floor.append(min(minima) if minima else 0.0)
+        # Independent per-stage energy minima for the lower bound
+        # (cached across replans — see _stage_energy_floors).
+        stage_energy_floor = self._stage_energy_floors(
+            replica_counts, stage_splits
+        )
         remaining_floor = [0.0] * (graph.stage_count + 1)
         for stage_index in range(graph.stage_count - 1, -1, -1):
             remaining_floor[stage_index] = (
@@ -188,6 +234,7 @@ class Scheduler:
             "evaluated": 0,
             "expanded": 0,      # branches descended into
             "pruned": 0,        # branches cut by the bounds
+            "warm_pruned": 0,   # cuts only the incumbent bound enabled
         }
 
         def consider(assignments: List[Tuple[int, ...]]) -> None:
@@ -229,10 +276,19 @@ class Scheduler:
                 )
                 candidate_energy = partial_energy + stage_energy
                 best = state["best"]
-                if best is not None and (
+                energy_floor = (
                     candidate_energy + remaining_floor[stage_index + 1]
-                    >= best.energy_uj_per_byte
-                ) and state["fastest"] is not None and (
+                )
+                beaten_by_best = (
+                    best is not None
+                    and energy_floor >= best.energy_uj_per_byte
+                )
+                beaten_by_incumbent = (
+                    initial_bound is not None and energy_floor > initial_bound
+                )
+                if (beaten_by_best or beaten_by_incumbent) and state[
+                    "fastest"
+                ] is not None and (
                     # The latency incumbent can still improve; only cut
                     # when the branch cannot help either search. A
                     # cheap sufficient condition: the partial core loads
@@ -241,6 +297,8 @@ class Scheduler:
                     >= state["fastest"].latency_us_per_byte
                 ):
                     state["pruned"] += 1
+                    if beaten_by_incumbent and not beaten_by_best:
+                        state["warm_pruned"] += 1
                     continue
                 state["expanded"] += 1
                 new_load = dict(load)
@@ -257,6 +315,7 @@ class Scheduler:
             "expanded": state["expanded"],
             "pruned": state["pruned"],
             "evaluated": state["evaluated"],
+            "warm_pruned": state["warm_pruned"],
         }
         return state["best"], state["fastest"], state["evaluated"]
 
@@ -286,19 +345,36 @@ class Scheduler:
 
     # -- iterative scaling ------------------------------------------------------
 
-    def schedule(self, best_effort: bool = False) -> ScheduleResult:
+    def schedule(
+        self,
+        best_effort: bool = False,
+        warm_start: Optional[SchedulingPlan] = None,
+    ) -> ScheduleResult:
         """Find the optimal plan, replicating bottleneck stages lazily.
 
         With ``best_effort=True`` an infeasible workload returns the
         latency-minimizing plan instead of raising — this is how
         best-effort mechanisms keep running and get charged their
         constraint violations.
+
+        ``warm_start`` is an incumbent plan from a previous schedule of
+        the same graph (the online control loop's current plan). It is
+        re-evaluated under the *current* model — the calibration may
+        have drifted since it was found — and, when still feasible,
+        seeds the branch-and-bound's energy bound before the first
+        branch, so an incremental replan prunes everything that cannot
+        beat the incumbent. If nothing strictly beats it, the incumbent
+        itself is returned (refreshed), which means a warm replan is
+        never worse than keeping the current plan. Ties go to the
+        incumbent — deliberately, since adopting an equal-energy plan
+        would cost a migration for nothing.
         """
         graph = self.model.graph
         replica_counts = [1] * graph.stage_count
         total_evaluated = 0
         total_expanded = 0
         total_pruned = 0
+        total_warm_pruned = 0
         scaling_rounds = 0
         # Wall-clock here instruments the *search*, which runs before the
         # simulation starts — it never feeds simulated time or results.
@@ -308,11 +384,29 @@ class Scheduler:
         best_counts: Optional[Tuple[int, ...]] = None
         core_count = len(self.board.cores)
 
+        if warm_start is not None and warm_start.graph == self.model.graph:
+            incumbent = self.model.evaluate(warm_start)
+            if incumbent.feasible:
+                best_overall = incumbent
+                best_counts = tuple(
+                    len(cores) for cores in warm_start.assignments
+                )
+            elif incumbent.latency_us_per_byte > 0:
+                fallback = incumbent
+
         while True:
-            best, min_latency, evaluated = self.search(tuple(replica_counts))
+            bound = (
+                best_overall.energy_uj_per_byte
+                if best_overall is not None
+                else None
+            )
+            best, min_latency, evaluated = self.search(
+                tuple(replica_counts), initial_bound=bound
+            )
             total_evaluated += evaluated
             total_expanded += self.last_search_counters["expanded"]
             total_pruned += self.last_search_counters["pruned"]
+            total_warm_pruned += self.last_search_counters["warm_pruned"]
             scaling_rounds += 1
             if min_latency is not None:
                 if fallback is None or (
@@ -361,6 +455,7 @@ class Scheduler:
             scaling_rounds=scaling_rounds,
             # Same wall-clock instrumentation as above: reporting only.
             wall_clock_s=time.perf_counter() - search_started,  # csa: ignore[CSA001]
+            warm_start_hits=total_warm_pruned,
         )
         # Publish to the process-wide metrics registry so the harness
         # and benches can report aggregate search effort.
@@ -368,6 +463,7 @@ class Scheduler:
         REGISTRY.inc("scheduler.plans_evaluated", total_evaluated)
         REGISTRY.inc("scheduler.nodes_expanded", total_expanded)
         REGISTRY.inc("scheduler.branches_pruned", total_pruned)
+        REGISTRY.inc("scheduler.warm_start_hits", total_warm_pruned)
         REGISTRY.observe("scheduler.search", stats.wall_clock_s)
 
         if best_overall is not None:

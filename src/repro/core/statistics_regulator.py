@@ -44,6 +44,11 @@ class StatisticsEvent:
     stage_shifts: Mapping[int, float]
     max_shift: float
     replanned: bool
+    #: the shift crossed the trigger and the model was recalibrated
+    #: (equals ``replanned`` when the regulator replans for itself;
+    #: with ``auto_replan=False`` this is the drift signal a session
+    #: controller acts on)
+    drifted: bool = False
 
 
 @dataclass
@@ -67,6 +72,13 @@ class StatisticsAwareRegulator:
     smoothing: float = 0.3
     estimate: PlanEstimate = None
     events: List[StatisticsEvent] = field(default_factory=list)
+    #: with ``auto_replan=False`` the regulator only recalibrates the
+    #: model and reports ``drifted`` — the session controller owns the
+    #: replanning decision (warm start, migration gating)
+    auto_replan: bool = True
+    #: an externally-owned scheduler to replan with (shares its
+    #: energy-floor cache across recalibrations); ``None`` builds one
+    scheduler: Scheduler = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.trigger_threshold < 1.0:
@@ -75,8 +87,10 @@ class StatisticsAwareRegulator:
             raise ConfigurationError("smoothing must be in [0, 1)")
         self._baseline = self._stage_instructions_from_profile()
         self._smoothed: Dict[int, float] = dict(self._baseline)
+        if self.scheduler is None:
+            self.scheduler = Scheduler(self.model)
         if self.estimate is None:
-            self.estimate = Scheduler(self.model).schedule(
+            self.estimate = self.scheduler.schedule(
                 best_effort=True
             ).estimate
 
@@ -107,24 +121,28 @@ class StatisticsAwareRegulator:
 
         max_shift = max(abs(ratio - 1.0) for ratio in shifts.values())
         replanned = False
+        drifted = False
         if max_shift > self.trigger_threshold:
             # One-step recalibration: the observed work *is* the new
             # baseline; Eq 6 scales linearly in instructions.
+            drifted = True
             for stage, ratio in shifts.items():
                 self.model.latency_scale[stage] = (
                     self.model.latency_scale.get(stage, 1.0) * ratio
                 )
                 self._baseline[stage] = self._smoothed[stage]
-            self.estimate = Scheduler(self.model).schedule(
-                best_effort=True
-            ).estimate
-            replanned = True
+            if self.auto_replan:
+                self.estimate = self.scheduler.schedule(
+                    best_effort=True
+                ).estimate
+                replanned = True
 
         event = StatisticsEvent(
             batch_index=batch_index,
             stage_shifts=shifts,
             max_shift=max_shift,
             replanned=replanned,
+            drifted=drifted,
         )
         self.events.append(event)
         return event

@@ -24,9 +24,67 @@ import numpy as np
 from repro.datasets.base import Dataset
 from repro.errors import DatasetError
 
-__all__ = ["MicroDataset"]
+__all__ = ["MicroDataset", "DRIFT_KINDS", "drift_schedule"]
 
 _POOL_SIZE = 512
+
+#: drift-scenario shapes for the online control loop's experiments
+DRIFT_KINDS = ("ramp", "burst", "phase-shift")
+
+
+def drift_schedule(
+    kind: str,
+    batches: int,
+    low: int = 500,
+    high: int = 50_000,
+    change_at: int = None,
+    burst_batches: int = None,
+) -> tuple:
+    """Per-batch ``dynamic_range`` values for a drifting Micro stream.
+
+    Three canonical shapes (§VII-B's sensitivity knob swept over time):
+
+    * ``ramp`` — geometric interpolation from ``low`` to ``high`` across
+      the whole stream (slow continuous drift);
+    * ``burst`` — ``low`` everywhere except ``burst_batches`` batches of
+      ``high`` starting at ``change_at`` (transient spike the controller
+      should *not* chase);
+    * ``phase-shift`` — ``low`` before ``change_at``, ``high`` after
+      (the Fig 9 step change: a durable regime switch worth migrating
+      for).
+
+    Purely arithmetic — no RNG — so schedules are trivially
+    deterministic; the dataset seeds do the randomizing.
+    """
+    if batches < 1:
+        raise DatasetError("drift schedule needs at least one batch")
+    if low < 2 or high < 2:
+        raise DatasetError("dynamic ranges must be >= 2")
+    if change_at is None:
+        change_at = batches // 3
+    if burst_batches is None:
+        burst_batches = max(batches // 6, 1)
+    if not 0 <= change_at <= batches:
+        raise DatasetError(f"change_at must be in [0, {batches}]")
+    if kind == "ramp":
+        if batches == 1:
+            return (low,)
+        ratio = (high / low) ** (1.0 / (batches - 1))
+        return tuple(
+            int(round(low * ratio ** index)) for index in range(batches)
+        )
+    if kind == "burst":
+        return tuple(
+            high if change_at <= index < change_at + burst_batches else low
+            for index in range(batches)
+        )
+    if kind == "phase-shift":
+        return tuple(
+            high if index >= change_at else low for index in range(batches)
+        )
+    raise DatasetError(
+        f"unknown drift kind {kind!r}; expected one of {DRIFT_KINDS}"
+    )
 
 
 class MicroDataset(Dataset):

@@ -100,6 +100,12 @@ class TraceRecorder:
         self.queue_highwater: Dict[str, int] = {}
         self.energy_busy_uj = 0.0
         self.energy_overhead_uj = 0.0
+        # control-loop counters (recorder-level only: TraceSummary's
+        # field set is frozen for cached-pickle compatibility)
+        self.replans = 0
+        self.replans_adopted = 0
+        self.plan_migrations = 0
+        self.migration_pause_us = 0.0
 
     # -- run structure -------------------------------------------------------
 
@@ -231,6 +237,49 @@ class TraceRecorder:
         """Engine-level process resume/end (only with process_events)."""
         self._emit(
             f"{kind}:{name}", "i", ts_us, TID_RUNTIME, category="process",
+        )
+
+    # -- control-loop hooks --------------------------------------------------
+
+    def replan(
+        self,
+        window_index: int,
+        ts_us: float,
+        adopted: bool,
+        reason: str,
+        energy_uj_per_byte: float,
+        warm_start_hits: int = 0,
+    ) -> None:
+        """A controller replanning decision at a window boundary."""
+        self.replans += 1
+        if adopted:
+            self.replans_adopted += 1
+        self._emit(
+            "replan", "i", ts_us, TID_RUNTIME, category="control",
+            window=window_index, adopted=adopted, reason=reason,
+            energy_uj_per_byte=energy_uj_per_byte,
+            warm_start_hits=warm_start_hits,
+        )
+
+    def plan_migration(
+        self,
+        window_index: int,
+        start_us: float,
+        pause_us: float,
+        moved_replicas: int,
+        energy_uj: float,
+        description: str,
+    ) -> None:
+        """The pipeline pause while replica state transfers between
+        cores (a span on the runtime track, so the Chrome trace shows
+        the reconfiguration gap)."""
+        self.plan_migrations += 1
+        self.migration_pause_us += pause_us
+        self._emit(
+            "plan-migration", "X", start_us, TID_RUNTIME,
+            dur_us=pause_us, category="control",
+            window=window_index, moved_replicas=moved_replicas,
+            energy_uj=energy_uj, moves=description,
         )
 
     # -- digest --------------------------------------------------------------

@@ -33,7 +33,17 @@ byte-identical to an untraced run's (tests assert this).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -49,7 +59,15 @@ from repro.simcore.engine import Simulator, Store
 from repro.simcore.hardware import replication_factor
 from repro.simcore.power import EnergyMeter
 
-__all__ = ["ExecutionConfig", "FaultSpec", "MechanismDynamics", "PipelineExecutor"]
+__all__ = [
+    "ExecutionConfig",
+    "FaultSpec",
+    "MechanismDynamics",
+    "PipelineExecutor",
+    "WindowObservation",
+    "WindowDecision",
+    "SessionResult",
+]
 
 #: κ assumed for context-switch work (kernel code, cache refills)
 _SWITCH_KAPPA = 50.0
@@ -208,6 +226,386 @@ class _CoreServer:
             done.succeed(None)
 
 
+@dataclass(frozen=True)
+class WindowObservation:
+    """What the executor tells a session controller at a window boundary.
+
+    ``latencies_us_per_byte`` are the window's per-batch inter-departure
+    periods normalized by batch size — the same quantity the static
+    path's :class:`BatchMetrics` report (energy shares are only known at
+    the end of the run, so they are not part of the observation).
+    """
+
+    window_index: int
+    batch_start: int
+    batch_count: int
+    now_us: float
+    latencies_us_per_byte: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """A controller's verdict for the next window.
+
+    ``replanned=False`` (or a ``None`` return from the controller)
+    keeps the incumbent plan without emitting any trace event. With
+    ``replanned=True`` the executor records a ``replan`` instant;
+    ``adopted=True`` additionally swaps to ``plan``, charging
+    ``pause_us`` of pipeline stall and ``energy_uj`` of transfer energy
+    before the next window starts.
+    """
+
+    replanned: bool = False
+    adopted: bool = False
+    reason: str = ""
+    plan: Optional[SchedulingPlan] = None
+    pause_us: float = 0.0
+    energy_uj: float = 0.0
+    moved_replicas: int = 0
+    moves: str = ""
+    energy_uj_per_byte: float = 0.0
+    warm_start_hits: int = 0
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one windowed session (:meth:`PipelineExecutor.run_session`)."""
+
+    batches: Tuple[BatchMetrics, ...]
+    windows: int
+    replans: int
+    plans_adopted: int
+    migration_pause_us: float
+    migration_energy_uj: float
+    plan_descriptions: Tuple[str, ...]
+    decisions: Tuple[WindowDecision, ...]
+
+    @property
+    def final_plan_description(self) -> str:
+        return self.plan_descriptions[-1] if self.plan_descriptions else ""
+
+    def measured(self, warmup_batches: int) -> Tuple[BatchMetrics, ...]:
+        return self.batches[warmup_batches:]
+
+
+class _RepetitionRun:
+    """One repetition's DES state: simulator, servers, meter, governor.
+
+    Shared by the one-shot path (:meth:`PipelineExecutor._run_once`) and
+    the windowed session path (:meth:`PipelineExecutor.run_session`).
+    Event-creation order is what fixes the heap's sequence numbers — and
+    with them the interleaving and the RNG draw order — so construction
+    mirrors the historical one-shot order exactly: core servers, then
+    shared-state locks, then (per spawned plan) message channels, task
+    processes and finally the source.
+    """
+
+    def __init__(
+        self,
+        executor: "PipelineExecutor",
+        per_batch_step_costs: Sequence[Mapping[str, StepCost]],
+        graph,
+        batch_bytes: int,
+        rng: np.random.Generator,
+        governor: Governor,
+        dynamics: MechanismDynamics,
+        shared_state_stages: Set[int],
+    ) -> None:
+        self.config = executor.config
+        self.board = executor.board
+        self.trace = executor.trace
+        self.batch_bytes = batch_bytes
+        self.rng = rng
+        self.governor = governor
+        self.dynamics = dynamics
+        self.shared_state_stages = shared_state_stages
+        self.batch_count = len(per_batch_step_costs)
+        self.interconnect = self.board.interconnect
+
+        # Per-batch merged stage costs (global batch indices).
+        self.stage_costs: List[List[StepCost]] = [
+            [task.merged_cost(costs) for task in graph.tasks]
+            for costs in per_batch_step_costs
+        ]
+
+        self.simulator = Simulator(trace=self.trace)
+        self.meter = EnergyMeter(
+            self.board, trace=self.trace, clock=(lambda: self.simulator.now)
+        )
+        if self.trace is not None:
+            governor.attach_trace(self.trace, lambda: self.simulator.now)
+        self.servers = {
+            core.core_id: _CoreServer(
+                self.simulator,
+                core,
+                governor.frequency_of(core.core_id),
+                self.meter,
+                self.board.context_switch_instructions,
+                trace=self.trace,
+            )
+            for core in self.board.cores
+        }
+
+        # Shared-state stages serialize through a lock: one token per
+        # stage, so replicated workers of that stage cannot overlap —
+        # this is what nullifies data parallelism in Fig 5's "share"
+        # configuration.
+        self.stage_locks: Dict[int, Store] = {}
+        if self.config.shared_state:
+            for stage_index in sorted(shared_state_stages):
+                lock = Store(self.simulator, capacity=1)
+                lock.put(object())
+                self.stage_locks[stage_index] = lock
+
+        self.completions: Dict[int, float] = {}
+        self.pending_stall: Dict[int, float] = {}
+        self.previous_busy: Dict[int, float] = {c: 0.0 for c in self.servers}
+        self.previous_time = [0.0]
+        self.completed_batches = [0]
+
+    # -- governor / fault hook ----------------------------------------------
+
+    def on_batch_complete(self) -> None:
+        """Sink hook: inject faults, feed the DVFS governor."""
+        simulator = self.simulator
+        servers = self.servers
+        governor = self.governor
+        self.completed_batches[0] += 1
+        fault = self.config.fault
+        if (
+            fault is not None
+            and self.completed_batches[0] == fault.at_batch
+            and fault.core_id in servers
+        ):
+            servers[fault.core_id].frequency_mhz = min(
+                servers[fault.core_id].frequency_mhz,
+                fault.frequency_mhz,
+            )
+            if self.trace is not None:
+                self.trace.fault(
+                    fault.core_id, simulator.now, fault.frequency_mhz
+                )
+        now = simulator.now
+        elapsed = now - self.previous_time[0]
+        if elapsed <= 0.0:
+            return
+        utilization = {}
+        for core_id, server in servers.items():
+            utilization[core_id] = min(
+                (server.busy_us - self.previous_busy[core_id]) / elapsed, 1.0
+            )
+            self.previous_busy[core_id] = server.busy_us
+        self.previous_time[0] = now
+        before = dict(governor.frequencies)
+        after = governor.observe(utilization)
+        changes = [c for c in after if after[c] != before[c]]
+        if changes:
+            # A change at batch granularity stands for the decisions
+            # the real governor made every sampling period meanwhile.
+            samples = max(elapsed / GOVERNOR_SAMPLING_PERIOD_US, 1.0)
+            stall_us, energy_uj = governor.transition_cost(len(changes))
+            scale = samples * governor.oscillation_factor
+            self.meter.record_overhead(energy_uj * scale)
+            for core_id in changes:
+                servers[core_id].frequency_mhz = after[core_id]
+                self.pending_stall[core_id] = (
+                    self.pending_stall.get(core_id, 0.0) + stall_us * scale
+                )
+
+    # -- plan spawning -------------------------------------------------------
+
+    def spawn_plan(
+        self, plan: SchedulingPlan, batch_start: int, batch_count: int
+    ) -> List:
+        """Create channels and processes running ``plan`` over the batch
+        range ``[batch_start, batch_start + batch_count)``.
+
+        Returns the spawned processes (tasks + source); every process
+        ends after its last batch, so joining them all is the session
+        path's in-flight draining barrier at a window boundary.
+        """
+        config = self.config
+        board = self.board
+        trace = self.trace
+        simulator = self.simulator
+        meter = self.meter
+        interconnect = self.interconnect
+        servers = self.servers
+        rng = self.rng
+        dynamics = self.dynamics
+        stage_costs = self.stage_costs
+        batch_bytes = self.batch_bytes
+        stage_locks = self.stage_locks
+        completions = self.completions
+        pending_stall = self.pending_stall
+        graph = plan.graph
+
+        # Message channels: one store per (producer, consumer) pair so a
+        # fast producer cannot make a consumer start a batch before every
+        # upstream share has arrived.
+        stage_inputs: List[List[List[Store]]] = []
+        for stage_index, cores in enumerate(plan.assignments):
+            producer_count = (
+                1 if stage_index == 0 else plan.replicas(stage_index - 1)
+            )
+            stage_inputs.append(
+                [
+                    [
+                        Store(
+                            simulator,
+                            capacity=1,
+                            name=(
+                                f"q.s{stage_index}r{replica}.p{producer}"
+                                if trace is not None
+                                else None
+                            ),
+                        )
+                        for producer in range(producer_count)
+                    ]
+                    for replica in range(len(cores))
+                ]
+            )
+        final_tokens: Dict[int, int] = {}
+        last_stage = graph.stage_count - 1
+        final_replicas = plan.replicas(last_stage)
+
+        def task_process(stage_index: int, replica_index: int, core_id: int):
+            replicas = plan.replicas(stage_index)
+            server = servers[core_id]
+            lat_overhead = replication_factor(
+                board.replication_latency_overhead, replicas
+            )
+            energy_factor = replication_factor(
+                board.replication_energy_overhead, replicas
+            )
+            lock_factor = 1.0
+            lock_energy_factor = 1.0
+            if config.shared_state and stage_index in self.shared_state_stages:
+                lock_factor = 1.0 + config.shared_state_lock_penalty * (
+                    replicas - 1
+                )
+                lock_energy_factor = 1.0 + config.shared_state_energy_penalty * (
+                    replicas - 1
+                )
+            inboxes = stage_inputs[stage_index][replica_index]
+            for batch_index in range(batch_start, batch_start + batch_count):
+                if stage_index == 0:
+                    yield inboxes[0].get()  # source token
+                else:
+                    comm_us = 0.0
+                    for inbox in inboxes:
+                        token = yield inbox.get()
+                        producer_core, transfer_bytes = token[1], token[2]
+                        path = board.path_between(producer_core, core_id)
+                        comm_us += interconnect.transfer_latency_us(
+                            path, transfer_bytes
+                        )
+                        meter.record_overhead(
+                            interconnect.message_energy(path)
+                        )
+                    if comm_us > 0.0:
+                        yield simulator.timeout(comm_us)
+                cost = stage_costs[batch_index][stage_index]
+                kappa = cost.operational_intensity
+                instructions = cost.instructions / replicas
+                eta = server.core.eta_at(kappa, server.frequency_mhz)
+                power = server.core.busy_power_w(kappa, server.frequency_mhz)
+                sigma = config.noise_sigma + dynamics.latency_jitter_sigma
+                noise = float(rng.lognormal(0.0, sigma)) if sigma > 0 else 1.0
+                base_duration = instructions / eta * noise
+                duration = base_duration * lock_factor * lat_overhead
+                energy_uj = (
+                    base_duration * power * energy_factor * lock_energy_factor
+                )
+                if dynamics.migration_rate_per_batch > 0.0 and (
+                    rng.random() < dynamics.migration_rate_per_batch
+                ):
+                    duration *= 1.0 + dynamics.migration_latency_fraction
+                    meter.record_overhead(
+                        base_duration
+                        * dynamics.migration_latency_fraction
+                        * power
+                    )
+                    if trace is not None:
+                        trace.migration(core_id, simulator.now)
+                extra_switches = (
+                    (batch_bytes / replicas) / 1024.0
+                    * dynamics.context_switches_per_kb
+                )
+                if extra_switches > 0.0:
+                    switch_us = (
+                        extra_switches
+                        * board.context_switch_instructions
+                        / server.core.eta_at(_SWITCH_KAPPA, server.frequency_mhz)
+                    )
+                    duration += switch_us
+                    meter.record_overhead(
+                        switch_us
+                        * server.core.busy_power_w(
+                            _SWITCH_KAPPA, server.frequency_mhz
+                        )
+                    )
+                    if trace is not None:
+                        trace.context_switch(
+                            core_id, extra_switches, simulator.now
+                        )
+                duration += pending_stall.pop(core_id, 0.0)
+                lock = stage_locks.get(stage_index)
+                if lock is not None:
+                    token = yield lock.get()
+                yield server.submit(
+                    f"s{stage_index}r{replica_index}",
+                    batch_index,
+                    duration,
+                    energy_uj,
+                )
+                if lock is not None:
+                    yield lock.put(token)
+                if stage_index == last_stage:
+                    final_tokens[batch_index] = (
+                        final_tokens.get(batch_index, 0) + 1
+                    )
+                    if final_tokens[batch_index] == final_replicas:
+                        completions[batch_index] = simulator.now
+                        if trace is not None:
+                            trace.batch_complete(batch_index, simulator.now)
+                        self.on_batch_complete()
+                else:
+                    consumer_count = plan.replicas(stage_index + 1)
+                    share = cost.output_bytes / replicas / consumer_count
+                    for consumer_index in range(consumer_count):
+                        inbox = stage_inputs[stage_index + 1][consumer_index][
+                            replica_index
+                        ]
+                        yield inbox.put((batch_index, core_id, share))
+
+        def source_process():
+            for batch_index in range(batch_start, batch_start + batch_count):
+                for consumer_inboxes in stage_inputs[0]:
+                    yield consumer_inboxes[0].put((batch_index, -1, 0.0))
+
+        processes: List = []
+        for stage_index, cores in enumerate(plan.assignments):
+            for replica_index, core_id in enumerate(cores):
+                processes.append(
+                    simulator.process(
+                        task_process(stage_index, replica_index, core_id),
+                        name=f"task-s{stage_index}r{replica_index}",
+                    )
+                )
+        processes.append(
+            simulator.process(source_process(), name="source")
+        )
+        return processes
+
+    def check_complete(self) -> None:
+        if len(self.completions) != self.batch_count:
+            missing = self.batch_count - len(self.completions)
+            raise ConfigurationError(
+                f"pipeline deadlocked: {missing} batches never completed"
+            )
+
+
 class PipelineExecutor:
     """Runs scheduling plans on a simulated board and measures them.
 
@@ -332,268 +730,183 @@ class PipelineExecutor:
         dynamics: MechanismDynamics,
         shared_state_stages: Set[int],
     ) -> List[BatchMetrics]:
-        config = self.config
-        board = self.board
-        graph = plan.graph
-        batch_count = len(per_batch_step_costs)
-        interconnect = board.interconnect
-
-        # Per-batch merged stage costs.
-        stage_costs: List[List[StepCost]] = [
-            [task.merged_cost(costs) for task in graph.tasks]
-            for costs in per_batch_step_costs
-        ]
-
-        trace = self.trace
-        simulator = Simulator(trace=trace)
-        meter = EnergyMeter(
-            board, trace=trace, clock=(lambda: simulator.now)
+        run = _RepetitionRun(
+            self,
+            per_batch_step_costs,
+            plan.graph,
+            batch_bytes,
+            rng,
+            governor,
+            dynamics,
+            shared_state_stages,
         )
-        if trace is not None:
-            governor.attach_trace(trace, lambda: simulator.now)
-        servers = {
-            core.core_id: _CoreServer(
-                simulator,
-                core,
-                governor.frequency_of(core.core_id),
-                meter,
-                board.context_switch_instructions,
-                trace=trace,
-            )
-            for core in board.cores
-        }
-
-        # Shared-state stages serialize through a lock: one token per
-        # stage, so replicated workers of that stage cannot overlap —
-        # this is what nullifies data parallelism in Fig 5's "share"
-        # configuration.
-        stage_locks: Dict[int, Store] = {}
-        if config.shared_state:
-            for stage_index in sorted(shared_state_stages):
-                lock = Store(simulator, capacity=1)
-                lock.put(object())
-                stage_locks[stage_index] = lock
-
-        # Message channels: one store per (producer, consumer) pair so a
-        # fast producer cannot make a consumer start a batch before every
-        # upstream share has arrived.
-        stage_inputs: List[List[List[Store]]] = []
-        for stage_index, cores in enumerate(plan.assignments):
-            producer_count = (
-                1 if stage_index == 0 else plan.replicas(stage_index - 1)
-            )
-            stage_inputs.append(
-                [
-                    [
-                        Store(
-                            simulator,
-                            capacity=1,
-                            name=(
-                                f"q.s{stage_index}r{replica}.p{producer}"
-                                if trace is not None
-                                else None
-                            ),
-                        )
-                        for producer in range(producer_count)
-                    ]
-                    for replica in range(len(cores))
-                ]
-            )
-        completions: Dict[int, float] = {}
-        final_tokens: Dict[int, int] = {}
-        pending_stall: Dict[int, float] = {}
-        last_stage = graph.stage_count - 1
-        final_replicas = plan.replicas(last_stage)
-        previous_busy: Dict[int, float] = {c: 0.0 for c in servers}
-        previous_time = [0.0]
-
-        completed_batches = [0]
-
-        def on_batch_complete() -> None:
-            """Sink hook: inject faults, feed the DVFS governor."""
-            completed_batches[0] += 1
-            fault = config.fault
-            if (
-                fault is not None
-                and completed_batches[0] == fault.at_batch
-                and fault.core_id in servers
-            ):
-                servers[fault.core_id].frequency_mhz = min(
-                    servers[fault.core_id].frequency_mhz,
-                    fault.frequency_mhz,
-                )
-                if trace is not None:
-                    trace.fault(
-                        fault.core_id, simulator.now, fault.frequency_mhz
-                    )
-            now = simulator.now
-            elapsed = now - previous_time[0]
-            if elapsed <= 0.0:
-                return
-            utilization = {}
-            for core_id, server in servers.items():
-                utilization[core_id] = min(
-                    (server.busy_us - previous_busy[core_id]) / elapsed, 1.0
-                )
-                previous_busy[core_id] = server.busy_us
-            previous_time[0] = now
-            before = dict(governor.frequencies)
-            after = governor.observe(utilization)
-            changes = [c for c in after if after[c] != before[c]]
-            if changes:
-                # A change at batch granularity stands for the decisions
-                # the real governor made every sampling period meanwhile.
-                samples = max(elapsed / GOVERNOR_SAMPLING_PERIOD_US, 1.0)
-                stall_us, energy_uj = governor.transition_cost(len(changes))
-                scale = samples * governor.oscillation_factor
-                meter.record_overhead(energy_uj * scale)
-                for core_id in changes:
-                    servers[core_id].frequency_mhz = after[core_id]
-                    pending_stall[core_id] = (
-                        pending_stall.get(core_id, 0.0) + stall_us * scale
-                    )
-
-        def task_process(stage_index: int, replica_index: int, core_id: int):
-            replicas = plan.replicas(stage_index)
-            server = servers[core_id]
-            lat_overhead = replication_factor(
-                board.replication_latency_overhead, replicas
-            )
-            energy_factor = replication_factor(
-                board.replication_energy_overhead, replicas
-            )
-            lock_factor = 1.0
-            lock_energy_factor = 1.0
-            if config.shared_state and stage_index in shared_state_stages:
-                lock_factor = 1.0 + config.shared_state_lock_penalty * (
-                    replicas - 1
-                )
-                lock_energy_factor = 1.0 + config.shared_state_energy_penalty * (
-                    replicas - 1
-                )
-            inboxes = stage_inputs[stage_index][replica_index]
-            for batch_index in range(batch_count):
-                if stage_index == 0:
-                    yield inboxes[0].get()  # source token
-                else:
-                    comm_us = 0.0
-                    for inbox in inboxes:
-                        token = yield inbox.get()
-                        producer_core, transfer_bytes = token[1], token[2]
-                        path = board.path_between(producer_core, core_id)
-                        comm_us += interconnect.transfer_latency_us(
-                            path, transfer_bytes
-                        )
-                        meter.record_overhead(
-                            interconnect.message_energy(path)
-                        )
-                    if comm_us > 0.0:
-                        yield simulator.timeout(comm_us)
-                cost = stage_costs[batch_index][stage_index]
-                kappa = cost.operational_intensity
-                instructions = cost.instructions / replicas
-                eta = server.core.eta_at(kappa, server.frequency_mhz)
-                power = server.core.busy_power_w(kappa, server.frequency_mhz)
-                sigma = config.noise_sigma + dynamics.latency_jitter_sigma
-                noise = float(rng.lognormal(0.0, sigma)) if sigma > 0 else 1.0
-                base_duration = instructions / eta * noise
-                duration = base_duration * lock_factor * lat_overhead
-                energy_uj = (
-                    base_duration * power * energy_factor * lock_energy_factor
-                )
-                if dynamics.migration_rate_per_batch > 0.0 and (
-                    rng.random() < dynamics.migration_rate_per_batch
-                ):
-                    duration *= 1.0 + dynamics.migration_latency_fraction
-                    meter.record_overhead(
-                        base_duration
-                        * dynamics.migration_latency_fraction
-                        * power
-                    )
-                    if trace is not None:
-                        trace.migration(core_id, simulator.now)
-                extra_switches = (
-                    (batch_bytes / replicas) / 1024.0
-                    * dynamics.context_switches_per_kb
-                )
-                if extra_switches > 0.0:
-                    switch_us = (
-                        extra_switches
-                        * board.context_switch_instructions
-                        / server.core.eta_at(_SWITCH_KAPPA, server.frequency_mhz)
-                    )
-                    duration += switch_us
-                    meter.record_overhead(
-                        switch_us
-                        * server.core.busy_power_w(
-                            _SWITCH_KAPPA, server.frequency_mhz
-                        )
-                    )
-                    if trace is not None:
-                        trace.context_switch(
-                            core_id, extra_switches, simulator.now
-                        )
-                duration += pending_stall.pop(core_id, 0.0)
-                lock = stage_locks.get(stage_index)
-                if lock is not None:
-                    token = yield lock.get()
-                yield server.submit(
-                    f"s{stage_index}r{replica_index}",
-                    batch_index,
-                    duration,
-                    energy_uj,
-                )
-                if lock is not None:
-                    yield lock.put(token)
-                if stage_index == last_stage:
-                    final_tokens[batch_index] = (
-                        final_tokens.get(batch_index, 0) + 1
-                    )
-                    if final_tokens[batch_index] == final_replicas:
-                        completions[batch_index] = simulator.now
-                        if trace is not None:
-                            trace.batch_complete(batch_index, simulator.now)
-                        on_batch_complete()
-                else:
-                    consumer_count = plan.replicas(stage_index + 1)
-                    share = cost.output_bytes / replicas / consumer_count
-                    for consumer_index in range(consumer_count):
-                        inbox = stage_inputs[stage_index + 1][consumer_index][
-                            replica_index
-                        ]
-                        yield inbox.put((batch_index, core_id, share))
-
-        def source_process():
-            for batch_index in range(batch_count):
-                for consumer_inboxes in stage_inputs[0]:
-                    yield consumer_inboxes[0].put((batch_index, -1, 0.0))
-
-        for stage_index, cores in enumerate(plan.assignments):
-            for replica_index, core_id in enumerate(cores):
-                simulator.process(
-                    task_process(stage_index, replica_index, core_id),
-                    name=f"task-s{stage_index}r{replica_index}",
-                )
-        simulator.process(source_process(), name="source")
-        simulator.run()
-        if len(completions) != batch_count:
-            missing = batch_count - len(completions)
-            raise ConfigurationError(
-                f"pipeline deadlocked: {missing} batches never completed"
-            )
+        run.spawn_plan(plan, 0, run.batch_count)
+        run.simulator.run()
+        run.check_complete()
 
         self.last_trace = {
             core_id: list(server.spans)
-            for core_id, server in servers.items()
+            for core_id, server in run.servers.items()
         }
-        if trace is not None:
-            trace.end_repetition(
-                window_us=max(completions.values(), default=0.0),
+        if self.trace is not None:
+            self.trace.end_repetition(
+                window_us=max(run.completions.values(), default=0.0),
                 batch_bytes=batch_bytes,
-                batches=batch_count,
+                batches=run.batch_count,
             )
         return self._collect_metrics(
-            plan, servers, meter, completions, batch_bytes, governor
+            plan, run.servers, run.meter, run.completions, batch_bytes, governor
+        )
+
+    # -- windowed session (online control loop) -------------------------------
+
+    def run_session(
+        self,
+        plan: SchedulingPlan,
+        per_batch_step_costs: Sequence[Mapping[str, StepCost]],
+        batch_bytes: int,
+        *,
+        window_batches: int,
+        controller=None,
+        dynamics: MechanismDynamics = MechanismDynamics(),
+        shared_state_stages: Set[int] = frozenset(),
+    ) -> SessionResult:
+        """One continuous repetition executed window by window.
+
+        Batches run in windows of ``window_batches``; at every window
+        boundary the pipeline drains (the window's processes all end —
+        no batch is in flight) and ``controller.on_window(observation)``
+        may hand back a :class:`WindowDecision`. An adopted decision
+        swaps the plan for the next window after charging the modeled
+        migration pause and transfer energy, so reconfiguration shows up
+        in both the latency and the energy of the measurement.
+
+        ``controller=None`` replays the static plan with the same window
+        structure — the baseline an adaptive session is compared to.
+        The controller is duck-typed so :mod:`repro.control` can stay a
+        downstream package (the runtime never imports it).
+        """
+        if window_batches < 1:
+            raise ConfigurationError("window must hold at least one batch")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        governor = self._make_governor()
+        trace = self.trace
+        if trace is not None:
+            set_active_recorder(trace)
+            trace.begin_repetition(0)
+        try:
+            run = _RepetitionRun(
+                self,
+                per_batch_step_costs,
+                plan.graph,
+                batch_bytes,
+                rng,
+                governor,
+                dynamics,
+                shared_state_stages,
+            )
+            batch_count = run.batch_count
+            windows = [
+                (start, min(window_batches, batch_count - start))
+                for start in range(0, batch_count, window_batches)
+            ]
+            decisions: List[WindowDecision] = []
+            plan_descriptions: List[str] = []
+            totals = {"replans": 0, "adopted": 0, "pause_us": 0.0, "energy_uj": 0.0}
+
+            def orchestrator():
+                current = plan
+                for window_index, (start, count) in enumerate(windows):
+                    plan_descriptions.append(current.describe())
+                    processes = run.spawn_plan(current, start, count)
+                    # Draining barrier: every task has finished its last
+                    # batch of this window before anything is reconfigured.
+                    yield run.simulator.all_of(processes)
+                    if controller is None or window_index == len(windows) - 1:
+                        continue
+                    previous = (
+                        run.completions[start - 1] if start > 0 else 0.0
+                    )
+                    latencies = []
+                    for batch_index in range(start, start + count):
+                        completed = run.completions[batch_index]
+                        latencies.append(
+                            (completed - previous) / batch_bytes
+                        )
+                        previous = completed
+                    decision = controller.on_window(
+                        WindowObservation(
+                            window_index=window_index,
+                            batch_start=start,
+                            batch_count=count,
+                            now_us=run.simulator.now,
+                            latencies_us_per_byte=tuple(latencies),
+                        )
+                    )
+                    if decision is None or not decision.replanned:
+                        continue
+                    decisions.append(decision)
+                    totals["replans"] += 1
+                    if trace is not None:
+                        trace.replan(
+                            window_index,
+                            run.simulator.now,
+                            adopted=decision.adopted,
+                            reason=decision.reason,
+                            energy_uj_per_byte=decision.energy_uj_per_byte,
+                            warm_start_hits=decision.warm_start_hits,
+                        )
+                    if not decision.adopted or decision.plan is None:
+                        continue
+                    totals["adopted"] += 1
+                    if decision.pause_us > 0.0 or decision.energy_uj > 0.0:
+                        totals["pause_us"] += decision.pause_us
+                        totals["energy_uj"] += decision.energy_uj
+                        run.meter.record_overhead(decision.energy_uj)
+                        if trace is not None:
+                            trace.plan_migration(
+                                window_index,
+                                run.simulator.now,
+                                pause_us=decision.pause_us,
+                                moved_replicas=decision.moved_replicas,
+                                energy_uj=decision.energy_uj,
+                                description=decision.moves,
+                            )
+                        if decision.pause_us > 0.0:
+                            yield run.simulator.timeout(decision.pause_us)
+                    current = decision.plan
+
+            run.simulator.process(orchestrator(), name="session-controller")
+            run.simulator.run()
+            run.check_complete()
+
+            self.last_trace = {
+                core_id: list(server.spans)
+                for core_id, server in run.servers.items()
+            }
+            if trace is not None:
+                trace.end_repetition(
+                    window_us=max(run.completions.values(), default=0.0),
+                    batch_bytes=batch_bytes,
+                    batches=batch_count,
+                )
+            metrics = self._collect_metrics(
+                plan, run.servers, run.meter, run.completions,
+                batch_bytes, governor,
+            )
+        finally:
+            if trace is not None:
+                set_active_recorder(None)
+        return SessionResult(
+            batches=tuple(metrics),
+            windows=len(windows),
+            replans=totals["replans"],
+            plans_adopted=totals["adopted"],
+            migration_pause_us=totals["pause_us"],
+            migration_energy_uj=totals["energy_uj"],
+            plan_descriptions=tuple(plan_descriptions),
+            decisions=tuple(decisions),
         )
 
     def _collect_metrics(

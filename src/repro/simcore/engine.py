@@ -145,6 +145,42 @@ class Simulator:
         """Start a new process driving ``generator``."""
         return Process(self, generator, name=name)
 
+    def all_of(self, events: List[Event]) -> Event:
+        """An event that fires once every event in ``events`` has fired.
+
+        The join's value is the list of member values in the order the
+        members were passed (not the order they fired), so waiters see a
+        deterministic result. Already-triggered members count
+        immediately; an empty list yields a join that fires on the next
+        tick — both cases keep a reconfiguration barrier well-defined
+        even when a window had nothing in flight.
+        """
+        join = Event(self)
+        members = list(events)
+        remaining = [len(members)]
+
+        def _arm(member: Event) -> None:
+            def _on_fire(_event: Event) -> None:
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    join.succeed([m.value for m in members])
+
+            if member.triggered:
+                # Count already-fired members on the next tick so join
+                # ordering stays deterministic relative to the heap.
+                immediate = Event(self)
+                immediate.callbacks.append(_on_fire)
+                immediate.succeed(member.value)
+            else:
+                member.callbacks.append(_on_fire)
+
+        if not members:
+            join.succeed([])
+            return join
+        for member in members:
+            _arm(member)
+        return join
+
     def run(self, until: Optional[float] = None) -> float:
         """Execute events until the heap drains or the clock passes
         ``until``. Returns the final clock value."""

@@ -37,8 +37,8 @@ REPS = 6
 
 class TestRegistry:
     def test_registry_size(self):
-        # 16 paper items + 5 reproduction ablations.
-        assert len(EXPERIMENTS) == 21
+        # 16 paper items + 5 reproduction ablations + adaptive loop.
+        assert len(EXPERIMENTS) == 22
 
     def test_every_paper_item_present(self):
         expected = {
@@ -47,8 +47,8 @@ class TestRegistry:
             "fig17", "tab4", "tab5",
         }
         assert expected <= set(EXPERIMENTS)
-        ablations = set(EXPERIMENTS) - expected
-        assert all(name.startswith("abl_") for name in ablations)
+        extras = set(EXPERIMENTS) - expected - {"adaptive"}
+        assert all(name.startswith("abl_") for name in extras)
 
     def test_unknown_id_rejected(self):
         with pytest.raises(KeyError):

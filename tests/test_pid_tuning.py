@@ -79,6 +79,28 @@ class TestPso:
         with pytest.raises(ConfigurationError):
             pso_tune_pid(bounds=((1, 0), (0, 1), (0, 1)))
 
+    def test_converges_on_arrival_rate_step(self):
+        """Mid-run the arrival rate doubles; the tuned PID retunes the
+        service-rate setpoint to the new arrival rate within a handful
+        of control periods and holds it without oscillating."""
+        from repro.core.adaptive import IncrementalPID
+
+        result = pso_tune_pid(seed=5)
+        controller = IncrementalPID(*result.gains)
+        service_rate = 0.0
+        arrival_rate = 1.0
+        history = []
+        for tick in range(30):
+            if tick == 15:
+                arrival_rate = 2.0
+            service_rate += controller.step(arrival_rate - service_rate)
+            history.append(service_rate)
+        # Settled on the initial rate before the step...
+        assert history[14] == pytest.approx(1.0, abs=0.05)
+        # ...and re-converged on the doubled rate after it.
+        assert history[-1] == pytest.approx(2.0, abs=0.05)
+        assert all(rate < 2.3 for rate in history)  # no wild overshoot
+
     def test_custom_fitness(self):
         # Tune against a different target: any callable works.
         result = pso_tune_pid(

@@ -210,7 +210,7 @@ class TestSearchInstrumentation:
         pairs = dict(stats.as_pairs())
         assert set(pairs) == {
             "nodes_expanded", "branches_pruned", "plans_evaluated",
-            "scaling_rounds", "wall_clock_s",
+            "scaling_rounds", "wall_clock_s", "warm_start_hits",
         }
 
     def test_stats_do_not_affect_equality(self, model):

@@ -95,6 +95,60 @@ class TestObservation:
         assert regulator.events[1].max_shift > regulator.events[0].max_shift
 
 
+class TestDetectOnly:
+    """``auto_replan=False``: the control loop's drift detector.
+
+    The session controller owns the replan/migration decision, so the
+    regulator only flags drift and recalibrates the model in place."""
+
+    def detect_only(self, context):
+        model = context.cost_model(context.fine_graph)
+        return StatisticsAwareRegulator(model, auto_replan=False), {
+            step: context.profile.mean_step_costs[step]
+            for step in context.profile.step_ids
+        }
+
+    def test_drift_flagged_without_replanning(self, tcomp32_rovio_context):
+        regulator, baseline = self.detect_only(tcomp32_rovio_context)
+        initial_plan = regulator.plan
+        regulator.observe(0, baseline)
+        event = regulator.observe(1, scaled_costs(baseline, 1.6))
+        assert event.drifted
+        assert not event.replanned
+        assert regulator.plan == initial_plan  # plan untouched
+
+    def test_stable_stream_not_flagged(self, tcomp32_rovio_context):
+        regulator, baseline = self.detect_only(tcomp32_rovio_context)
+        for batch in range(4):
+            event = regulator.observe(batch, baseline)
+            assert not event.drifted
+            assert not event.replanned
+
+    def test_model_recalibrated_on_drift(self, tcomp32_rovio_context):
+        """Recalibration is not gated on auto_replan: the warm-started
+        replan that follows must see the drifted latency scales."""
+        regulator, baseline = self.detect_only(tcomp32_rovio_context)
+        regulator.observe(0, baseline)
+        regulator.observe(1, scaled_costs(baseline, 1.6))
+        assert regulator.model.latency_scale[0] > 1.2
+
+    def test_shared_scheduler_is_used(self, tcomp32_rovio_context):
+        from repro.core.scheduler import Scheduler
+
+        context = tcomp32_rovio_context
+        model = context.cost_model(context.fine_graph)
+        scheduler = Scheduler(model)
+        regulator = StatisticsAwareRegulator(model, scheduler=scheduler)
+        assert regulator.scheduler is scheduler
+
+    def test_default_events_mark_drift_and_replan_together(self, setup):
+        regulator, baseline = setup
+        regulator.observe(0, baseline)
+        event = regulator.observe(1, scaled_costs(baseline, 1.6))
+        assert event.drifted
+        assert event.replanned
+
+
 class TestVersusPid:
     def test_faster_than_pid_on_a_jump(self, tcomp32_rovio_context):
         """The §V-D trade-off, measured: the statistics watcher replans
