@@ -161,6 +161,59 @@ def bench_replanning(rounds: int = 5):
     }
 
 
+def bench_chaos_recovery(boards=("rk3399", "jetson_tx2_like")):
+    """Per-board failover recovery under a permanent big-core failure.
+
+    Runs the ``core-failure`` chaos scenario (see
+    :mod:`repro.faults.chaos`) on each board and records the recovery
+    latency the adaptive controller achieves alongside the steady-state
+    violation counts of both arms — the robustness trajectory the perf
+    record tracks across boards, next to the scheduler-search cost its
+    replans ride on.
+    """
+    from repro.faults.chaos import ChaosSpec, run_chaos_session
+    from repro.simcore import boards as board_module
+
+    per_board = {}
+    for board_name in boards:
+        board = getattr(board_module, board_name)()
+        harness = Harness(
+            board=board,
+            repetitions=1,
+            batches_per_repetition=18,
+            profile_batches=3,
+            cache=None,
+        )
+        started = time.perf_counter()
+        comparison = run_chaos_session(
+            harness,
+            ChaosSpec(scenario="core-failure", batch_bytes=8192),
+        )
+        elapsed = time.perf_counter() - started
+        recovery = comparison.adaptive_recovery_us
+        per_board[board_name] = {
+            "victim_core": comparison.victim_core,
+            "static_steady_violations": comparison.static_steady_violations,
+            "adaptive_steady_violations": (
+                comparison.adaptive_steady_violations
+            ),
+            "adaptive_recovery_ms": (
+                round(recovery / 1000.0, 2) if recovery is not None else None
+            ),
+            "static_recovers": comparison.static_recovery_us is not None,
+            "wall_seconds": round(elapsed, 4),
+        }
+        print(
+            f"chaos {board_name}: static "
+            f"{per_board[board_name]['static_steady_violations']} vs "
+            f"adaptive "
+            f"{per_board[board_name]['adaptive_steady_violations']} steady "
+            f"violations, recovery "
+            f"{per_board[board_name]['adaptive_recovery_ms']} ms"
+        )
+    return per_board
+
+
 def run_scaling(jobs_list, repetitions, quick, output):
     specs, mechanisms = build_grid(quick)
     cells = len(specs) * len(mechanisms)
@@ -246,6 +299,8 @@ def run_scaling(jobs_list, repetitions, quick, output):
         f"({replanning['warm_start_hit_rate']:.0%} warm-start hit rate)"
     )
 
+    chaos = bench_chaos_recovery()
+
     record = {
         "bench": "harness_scaling",
         "grid": {
@@ -259,6 +314,7 @@ def run_scaling(jobs_list, repetitions, quick, output):
         "runs": runs,
         "warm_cache": warm,
         "replanning": replanning,
+        "chaos": chaos,
     }
     with open(output, "w") as sink:
         json.dump(record, sink, indent=2)
@@ -288,6 +344,15 @@ def test_harness_scaling():
     assert record["replanning"]["cold_seconds"] > 0
     assert record["replanning"]["warm_start_hits"] >= 0
     assert 0.0 <= record["replanning"]["warm_start_hit_rate"] <= 1.0
+    # the chaos section tracks per-board failover recovery: on every
+    # board the adaptive arm must recover (finite latency) and end with
+    # strictly fewer steady-state violations than the static plan
+    for board_name, outcome in record["chaos"].items():
+        assert outcome["adaptive_recovery_ms"] is not None, board_name
+        assert (
+            outcome["adaptive_steady_violations"]
+            < outcome["static_steady_violations"]
+        ), board_name
 
 
 def main(argv=None) -> int:

@@ -8,7 +8,7 @@ honest:
   iteration, mutable defaults, unordered float accumulation, unguarded
   trace hooks, environment reads and unsorted filesystem listings.
 * :mod:`repro.analysis.verify` — a plan/trace invariant verifier
-  (``PLN001``-``PLN005``, ``TRC001``-``TRC005``): DAG acyclicity, step
+  (``PLN001``-``PLN005``, ``TRC001``-``TRC007``): DAG acyclicity, step
   coverage, core-id validity, double-booking, L_set feasibility for
   :class:`~repro.core.plan.SchedulingPlan` objects; monotone simulated
   time, monotone energy counters, non-overlapping spans and

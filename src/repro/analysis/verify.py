@@ -30,6 +30,11 @@ TRC004    same-timestamp counter updates with different values on one
           warning, aggregated)
 TRC005    well-formed quantities: no negative timestamps/durations, and
           integer pid/tid
+TRC006    a core emits no task service spans after its permanent-failure
+          (``core-failure``) event — dead hardware does no work
+TRC007    every ``batch-retry`` event names a batch with a matching
+          ``batch-corrupted`` event — retries only happen to batches the
+          decode verification actually flagged
 ========  ==================================================================
 
 Severity model: **error** findings make the CLI exit 1; **warning**
@@ -73,6 +78,8 @@ INVARIANTS: Dict[str, str] = {
     "TRC003": "X spans on one track never overlap",
     "TRC004": "no order-dependent same-timestamp counter pairs (warning)",
     "TRC005": "non-negative ts/dur, integer pid/tid",
+    "TRC006": "no service spans on a core after its permanent failure",
+    "TRC007": "every retried batch has a matching corruption event",
 }
 
 ERROR = "error"
@@ -360,7 +367,7 @@ def _track(event: Dict[str, Any]) -> Tuple[Any, Any]:
 def verify_trace_events(
     events: Iterable[Dict[str, Any]],
 ) -> List[VerifyFinding]:
-    """Check a normalized event stream against TRC001-TRC005.
+    """Check a normalized event stream against TRC001-TRC007.
 
     ``events`` must be in *stream order* (the order the recorder emitted
     them / the order they appear in the exported file) — TRC001 and
@@ -377,6 +384,11 @@ def verify_trace_events(
     previous: Optional[Dict[str, Any]] = None
     malformed = 0
     malformed_example: Optional[str] = None
+    # TRC006/TRC007 raw material
+    core_failures: Dict[Tuple[Any, Any], float] = {}
+    task_spans: List[Tuple[Any, Any, float, int]] = []
+    corrupted: Dict[Any, set] = {}
+    retries: List[Tuple[Any, Any, int]] = []
 
     for event in events:
         index = event["index"]
@@ -442,6 +454,24 @@ def verify_trace_events(
         # TRC003 — collect X spans per track
         if event["ph"] == "X":
             spans.setdefault(track, []).append((ts, ts + float(dur), index))
+
+        # TRC006/TRC007 — collect fault events and task spans
+        if event["ph"] == "X" and event.get("cat") == "task":
+            task_spans.append((event["pid"], event["tid"], ts, index))
+        elif event["name"] == "core-failure":
+            core = event["args"].get("core")
+            if core is not None:
+                key = (event["pid"], core)
+                if key not in core_failures or ts < core_failures[key]:
+                    core_failures[key] = ts
+        elif event["name"] == "batch-corrupted":
+            batch = event["args"].get("batch")
+            if batch is not None:
+                corrupted.setdefault(event["pid"], set()).add(batch)
+        elif event["name"] == "batch-retry":
+            batch = event["args"].get("batch")
+            if batch is not None:
+                retries.append((event["pid"], batch, index))
 
         # TRC004 — order-dependent same-timestamp counter pairs
         if (
@@ -515,6 +545,39 @@ def verify_trace_events(
             if open_end is None or end > open_end:
                 open_end = end
                 open_index = index
+    # TRC006 — no service spans on a core after its permanent failure.
+    # Strict ">": a span can legitimately *start* at the failure instant
+    # (the failure fires at a batch boundary the span helped produce).
+    if core_failures:
+        for pid, tid, ts, index in task_spans:
+            failed_at = core_failures.get((pid, tid))
+            if failed_at is not None and ts > failed_at:
+                findings.append(
+                    VerifyFinding(
+                        code="TRC006",
+                        severity=ERROR,
+                        message=(
+                            f"task span starts at ts={ts} on core {tid} "
+                            f"after its permanent failure at "
+                            f"ts={failed_at}"
+                        ),
+                        location=f"traceEvents[{index}] pid={pid}",
+                    )
+                )
+    # TRC007 — every retried batch was flagged corrupt first
+    for pid, batch, index in retries:
+        if batch not in corrupted.get(pid, ()):
+            findings.append(
+                VerifyFinding(
+                    code="TRC007",
+                    severity=ERROR,
+                    message=(
+                        f"batch {batch} retried without a matching "
+                        "batch-corrupted event"
+                    ),
+                    location=f"traceEvents[{index}] pid={pid}",
+                )
+            )
     if hazard_count:
         findings.append(
             VerifyFinding(
@@ -546,7 +609,7 @@ def verify_chrome_payload(payload: Any) -> List[VerifyFinding]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.verify",
-        description="trace-stream invariant verifier (TRC001-TRC005)",
+        description="trace-stream invariant verifier (TRC001-TRC007)",
     )
     parser.add_argument("traces", nargs="+", metavar="TRACE.json")
     parser.add_argument(

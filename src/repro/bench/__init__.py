@@ -16,6 +16,7 @@ from repro.bench.exp_ablations import (
     abl_regulator,
     abl_thermal,
 )
+from repro.bench.exp_chaos import chaos_recovery
 from repro.bench.exp_endtoend import (
     fig05_state_sharing,
     fig07_energy,
@@ -67,6 +68,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig08_clcv,
     "fig9": fig09_adaptivity,
     "adaptive": adaptive_drift,
+    "chaos": chaos_recovery,
     "fig10": fig10_latency_constraint,
     "fig11": fig11_batch_size,
     "fig12": fig12_vocabulary_duplication,

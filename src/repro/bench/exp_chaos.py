@@ -1,0 +1,97 @@
+"""Chaos experiment: fault injection vs the recovery mechanisms.
+
+Not a figure from the paper — the robustness counterpart to
+:mod:`repro.bench.exp_adaptive`. Each row is one fault scenario from
+:data:`repro.faults.chaos.CHAOS_SCENARIOS`; columns compare the static
+one-shot plan (surviving only on the runtime's emergency reroutes and
+retries) against the adaptive session (whose
+:class:`~repro.control.controller.SessionController` failover path
+replans over the surviving cores) on constraint violations, sustained
+recovery latency and the energy overhead each arm pays versus the
+fault-free baseline. The per-scenario :class:`ChaosComparison` objects
+land in the extras for deeper inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.harness import Harness, default_harness
+from repro.faults.chaos import CHAOS_SCENARIOS, ChaosSpec, run_chaos_session
+
+__all__ = ["chaos_recovery"]
+
+
+def _latency_ms(value: Optional[float]) -> str:
+    if value is None:
+        return "never"
+    return f"{value / 1000.0:.0f}"
+
+
+def chaos_recovery(
+    harness: Optional[Harness] = None,
+    batches: int = 18,
+    window_batches: int = 3,
+    fault_batch: int = 7,
+    latency_margin: float = 1.35,
+) -> ExperimentResult:
+    """Static vs adaptive violations/recovery/energy per fault scenario."""
+    harness = harness or default_harness()
+    rows = []
+    extras = {"comparisons": {}, "failovers": {}}
+    for scenario in CHAOS_SCENARIOS:
+        comparison = run_chaos_session(
+            harness,
+            ChaosSpec(
+                scenario=scenario,
+                batches=batches,
+                window_batches=window_batches,
+                fault_batch=fault_batch,
+                latency_margin=latency_margin,
+            ),
+        )
+        extras["comparisons"][scenario] = comparison
+        extras["failovers"][scenario] = [
+            (event.window_index, event.failed_cores, event.throttled_cores)
+            for event in comparison.failover_events
+        ]
+        rows.append(
+            (
+                scenario,
+                f"{comparison.static_steady_violations}",
+                f"{comparison.adaptive_steady_violations}",
+                _latency_ms(comparison.static_recovery_us),
+                _latency_ms(comparison.adaptive_recovery_us),
+                f"{comparison.static_energy_overhead:.1%}",
+                f"{comparison.adaptive_energy_overhead:.1%}",
+            )
+        )
+    failure = extras["comparisons"]["core-failure"]
+    return ExperimentResult(
+        experiment_id="chaos",
+        title=(
+            "fault injection and recovery (tcomp32-rovio, "
+            f"L_set = static latency x {latency_margin}, "
+            f"fault at batch {fault_batch}, "
+            f"{window_batches}-batch windows)"
+        ),
+        headers=(
+            "scenario", "steady CLCV static", "steady CLCV adaptive",
+            "recovery static (ms)", "recovery adaptive (ms)",
+            "E overhead static", "E overhead adaptive",
+        ),
+        rows=rows,
+        note=(
+            "core-failure: the static plan never meets L_set again "
+            f"({failure.static_steady_violations} steady violations, "
+            f"{failure.static_energy_overhead:.0%} energy overhead on "
+            "emergency reroutes); the adaptive controller replans onto "
+            "the surviving cores and recovers in "
+            f"{_latency_ms(failure.adaptive_recovery_us)} ms. Transient "
+            "stalls self-heal in both arms; interconnect and pure "
+            "corruption faults emit no dead/throttled-core heartbeat, "
+            "so both arms lean on the runtime's retry path alone"
+        ),
+        extras=extras,
+    )

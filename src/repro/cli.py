@@ -25,11 +25,16 @@ Subcommands
     Run the online control loop on a drifting workload and compare the
     adaptive session (drift detection, warm-started replanning,
     migration-gated plan adoption) against the static one-shot plan.
+``chaos``
+    Inject a fault scenario (core failure, DVFS throttle, stall,
+    interconnect degradation, batch corruption) mid-session and compare
+    the adaptive controller's failover recovery against the static plan
+    limping along on emergency reroutes.
 ``analyze``
     Run the static-analysis suite: the determinism linter
     (``repro.analysis.lint``, rules CSA001-CSA008) over source paths
     and, optionally, the trace invariant verifier
-    (``repro.analysis.verify``, TRC001-TRC005) over exported traces.
+    (``repro.analysis.verify``, TRC001-TRC007) over exported traces.
 ``boards``
     List the available simulated boards.
 """
@@ -48,6 +53,7 @@ from repro.core.baselines import MECHANISM_NAMES, get_mechanism
 from repro.core.scheduler import Scheduler
 from repro.datasets import DATASET_NAMES, DRIFT_KINDS
 from repro.errors import ReproError
+from repro.faults.chaos import CHAOS_SCENARIOS
 from repro.runtime.visualize import render_gantt, render_plan
 from repro.simcore.boards import jetson_tx2_like, rk3399
 
@@ -175,6 +181,27 @@ def _build_parser() -> argparse.ArgumentParser:
     adapt.add_argument("--horizon", type=int, default=4,
                        help="windows a migration must amortize over")
     adapt.add_argument("--out", default=None,
+                       help="write the adaptive run's Chrome trace JSON")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="inject faults mid-session and compare static vs adaptive "
+        "recovery",
+    )
+    chaos.add_argument("--codec", choices=CODEC_NAMES, default="tcomp32")
+    chaos.add_argument("--dataset", choices=DATASET_NAMES, default="rovio")
+    chaos.add_argument("--scenario", choices=CHAOS_SCENARIOS,
+                       default="core-failure")
+    chaos.add_argument("--board", choices=sorted(_BOARDS), default="rk3399")
+    chaos.add_argument("--batches", type=int, default=18)
+    chaos.add_argument("--window", type=int, default=3,
+                       help="batches per control window")
+    chaos.add_argument("--fault-batch", type=int, default=7,
+                       help="batch boundary at which hardware faults fire")
+    chaos.add_argument("--margin", type=float, default=1.35,
+                       help="session L_set = static plan's modeled "
+                       "latency x this margin")
+    chaos.add_argument("--out", default=None,
                        help="write the adaptive run's Chrome trace JSON")
 
     analyze = commands.add_parser(
@@ -455,6 +482,80 @@ def _command_adapt(args) -> int:
     return 0
 
 
+def _command_chaos(args) -> int:
+    from repro.faults.chaos import ChaosSpec, run_chaos_session
+    from repro.obs.trace import TraceRecorder
+
+    board = _BOARDS[args.board]()
+    harness = Harness(board=board)
+    spec = ChaosSpec(
+        codec=args.codec,
+        dataset=args.dataset,
+        scenario=args.scenario,
+        batches=args.batches,
+        window_batches=args.window,
+        fault_batch=args.fault_batch,
+        latency_margin=args.margin,
+    )
+    recorder = TraceRecorder() if args.out is not None else None
+    comparison = run_chaos_session(harness, spec, trace=recorder)
+    print(
+        f"{spec.codec}/{spec.dataset} under {spec.scenario} on "
+        f"{board.name} (victim core {comparison.victim_core}, "
+        f"L_set={comparison.l_set_us_per_byte:.2f} µs/byte):"
+    )
+
+    def _recovery(value) -> str:
+        if value is None:
+            return "-"
+        return f"{value / 1000.0:.0f} ms"
+
+    rows = [
+        ("", "static", "adaptive"),
+        (
+            "violations",
+            f"{comparison.static_violations}",
+            f"{comparison.adaptive_violations}",
+        ),
+        (
+            "steady-state violations",
+            f"{comparison.static_steady_violations}",
+            f"{comparison.adaptive_steady_violations}",
+        ),
+        (
+            "recovery latency",
+            _recovery(comparison.static_recovery_us),
+            _recovery(comparison.adaptive_recovery_us),
+        ),
+        (
+            "energy overhead",
+            f"{comparison.static_energy_overhead:.1%}",
+            f"{comparison.adaptive_energy_overhead:.1%}",
+        ),
+    ]
+    for label, static_value, adaptive_value in rows:
+        print(f"  {label:24s} {static_value:>10s} {adaptive_value:>10s}")
+    for event in comparison.failover_events:
+        print(
+            f"  window {event.window_index}: failover "
+            f"(dead cores {list(event.failed_cores)}, "
+            f"throttled {list(event.throttled_cores)}, "
+            f"pause {event.pause_us / 1000.0:.1f} ms)"
+        )
+    print(f"  final adaptive plan: {comparison.adaptive.final_plan_description}")
+    if recorder is not None:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(recorder, args.out, board=board)
+        print(
+            f"wrote {len(recorder.events)} events to {args.out} "
+            f"({recorder.core_failures} core failures, "
+            f"{recorder.corrupted_batches} corrupted batches, "
+            f"{recorder.batch_retries} retries)"
+        )
+    return 0
+
+
 def _command_analyze(args) -> int:
     import repro
     from repro.analysis import lint, verify
@@ -495,6 +596,7 @@ def main(argv=None) -> int:
         "trace": _command_trace,
         "bench": _command_bench,
         "adapt": _command_adapt,
+        "chaos": _command_chaos,
         "analyze": _command_analyze,
         "boards": _command_boards,
     }

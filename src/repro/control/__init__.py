@@ -18,6 +18,7 @@ sees the controller only as a duck-typed ``on_window`` callback.
 from repro.control.controller import (
     ControlEvent,
     ControllerConfig,
+    FailoverEvent,
     SessionController,
 )
 from repro.control.session import (
@@ -30,6 +31,7 @@ from repro.control.session import (
 __all__ = [
     "ControlEvent",
     "ControllerConfig",
+    "FailoverEvent",
     "SessionController",
     "SessionComparison",
     "SessionSpec",

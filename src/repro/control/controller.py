@@ -44,7 +44,12 @@ from repro.errors import ConfigurationError
 from repro.numerics import ordered_sum
 from repro.runtime.executor import WindowDecision, WindowObservation
 
-__all__ = ["ControllerConfig", "ControlEvent", "SessionController"]
+__all__ = [
+    "ControllerConfig",
+    "ControlEvent",
+    "FailoverEvent",
+    "SessionController",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +94,18 @@ class ControlEvent:
     warm_start_hits: int
 
 
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One hardware-degradation recovery, for reporting and tests."""
+
+    window_index: int
+    failed_cores: tuple
+    throttled_cores: tuple
+    pause_us: float
+    energy_uj: float
+    candidate_energy_uj_per_byte: float
+
+
 class SessionController:
     """Owns the plan across a windowed session (duck-typed into
     :meth:`~repro.runtime.executor.PipelineExecutor.run_session`)."""
@@ -119,9 +136,12 @@ class SessionController:
             plan if plan is not None else self.regulator.plan
         )
         self.events: List[ControlEvent] = []
+        self.failovers: List[FailoverEvent] = []
         self.replans = 0
         self.plans_adopted = 0
         self.warm_start_hits = 0
+        self._failed_cores: set = set()
+        self._throttled: dict = {}
         self._state_bytes = {
             stage: model.stage_output_bytes(stage) * config.state_bytes_scale
             for stage in range(model.graph.stage_count)
@@ -147,6 +167,17 @@ class SessionController:
                 batch_index, self.per_batch_step_costs[batch_index]
             )
             drifted = drifted or event.drifted
+        # Hardware degradation outranks workload drift: a dead or newly
+        # throttled core forces an immediate failover replan.
+        new_failed = tuple(
+            c for c in observation.failed_cores if c not in self._failed_cores
+        )
+        new_throttled = tuple(
+            (core, mhz) for core, mhz in observation.throttled_mhz
+            if self._throttled.get(core) != mhz
+        )
+        if new_failed or new_throttled:
+            return self._failover(observation, new_failed, new_throttled)
         if not drifted:
             return None
         return self._replan(observation)
@@ -219,6 +250,120 @@ class SessionController:
             plan=candidate.plan if adopted else None,
             pause_us=cost.pause_us if adopted else 0.0,
             energy_uj=cost.energy_uj if adopted else 0.0,
+            moved_replicas=cost.moved_replicas,
+            moves=delta.describe(),
+            energy_uj_per_byte=candidate.energy_uj_per_byte,
+            warm_start_hits=hits,
+        )
+
+    def _fallback_core(self, core_id: int, surviving: Sequence[int]) -> int:
+        """The executor's emergency-routing rule: lowest-id survivor of
+        the same cluster, else lowest-id survivor anywhere. Matching the
+        rule means the patched incumbent describes what the pipeline is
+        already doing."""
+        victim = self.model.board.core_by_id[core_id]
+        same_cluster = [
+            c for c in surviving
+            if self.model.board.core_by_id[c].is_big == victim.is_big
+        ]
+        return min(same_cluster) if same_cluster else min(surviving)
+
+    def _failover(
+        self,
+        observation: WindowObservation,
+        new_failed: Sequence[int],
+        new_throttled: Sequence,
+    ) -> WindowDecision:
+        """Replan over the surviving cores after hardware degradation.
+
+        The candidate is adopted unconditionally — every batch spent on
+        emergency routes pays the reroute surcharge (and likely violates
+        ``L_set``), so no amortization argument applies."""
+        self.replans += 1
+        self._failed_cores.update(new_failed)
+        for core, mhz in new_throttled:
+            current = self._throttled.get(core)
+            self._throttled[core] = (
+                mhz if current is None else min(current, mhz)
+            )
+        if new_throttled:
+            # Teach the cost model the capped frequencies so candidate
+            # estimates price throttled cores honestly.
+            fmap = dict(self.model.frequency_map or {})
+            for core, mhz in self._throttled.items():
+                fmap[core] = min(fmap.get(core, mhz), mhz)
+            self.model.frequency_map = fmap
+        surviving = [
+            c.core_id for c in self.model.board.cores
+            if c.core_id not in self._failed_cores
+        ]
+        # Fresh scheduler restricted to survivors, shared with the
+        # regulator so later drift replans also avoid the dead cores.
+        self.scheduler = Scheduler(self.model, allowed_cores=surviving)
+        self.regulator.scheduler = self.scheduler
+
+        routing = {
+            core: self._fallback_core(core, surviving)
+            for core in sorted(self._failed_cores)
+        }
+        patched = self.plan.remap_cores(routing)
+        incumbent = self.model.evaluate(patched)
+        result = self.scheduler.schedule(best_effort=True, warm_start=patched)
+        candidate = result.estimate
+        hits = (
+            result.search_stats.warm_start_hits
+            if result.search_stats is not None
+            else 0
+        )
+        self.warm_start_hits += hits
+
+        delta = self.plan.diff(candidate.plan)
+        cost = migration_cost(
+            delta,
+            self.model.board,
+            self.model.communication,
+            self._state_bytes,
+        )
+        window_bytes = float(self.batch_bytes * observation.batch_count)
+        saving_uj = (
+            incumbent.energy_uj_per_byte - candidate.energy_uj_per_byte
+        ) * window_bytes * self.config.horizon_windows
+        cost_uj = cost.energy_uj + cost.pause_us * self._static_power_w
+
+        self.plans_adopted += 1
+        self.plan = candidate.plan
+        self.events.append(
+            ControlEvent(
+                window_index=observation.window_index,
+                drifted=False,
+                replanned=True,
+                adopted=True,
+                reason="failover",
+                incumbent_energy_uj_per_byte=incumbent.energy_uj_per_byte,
+                candidate_energy_uj_per_byte=candidate.energy_uj_per_byte,
+                modeled_saving_uj=saving_uj,
+                migration_cost_uj=cost_uj,
+                migration_pause_us=cost.pause_us,
+                warm_start_hits=hits,
+            )
+        )
+        self.failovers.append(
+            FailoverEvent(
+                window_index=observation.window_index,
+                failed_cores=tuple(sorted(self._failed_cores)),
+                throttled_cores=tuple(sorted(self._throttled.items())),
+                pause_us=cost.pause_us,
+                energy_uj=cost.energy_uj,
+                candidate_energy_uj_per_byte=candidate.energy_uj_per_byte,
+            )
+        )
+        return WindowDecision(
+            replanned=True,
+            adopted=True,
+            reason="failover",
+            plan=candidate.plan,
+            pause_us=cost.pause_us,
+            energy_uj=cost.energy_uj,
             moved_replicas=cost.moved_replicas,
             moves=delta.describe(),
             energy_uj_per_byte=candidate.energy_uj_per_byte,

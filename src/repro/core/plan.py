@@ -77,6 +77,20 @@ class SchedulingPlan:
             parts.append(f"{task}@{list(cores)}")
         return " -> ".join(parts)
 
+    def remap_cores(self, mapping: Mapping[int, int]) -> "SchedulingPlan":
+        """A copy with every core id rewritten through ``mapping``
+        (identity for absent keys).
+
+        The controller's failover path uses this to patch a dead core out
+        of the incumbent before warm-starting the replan search."""
+        return SchedulingPlan(
+            graph=self.graph,
+            assignments=tuple(
+                tuple(mapping.get(core, core) for core in cores)
+                for cores in self.assignments
+            ),
+        )
+
     def diff(self, new_plan: "SchedulingPlan") -> "PlanDelta":
         """Replica moves turning this plan into ``new_plan``.
 

@@ -30,11 +30,11 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.cost_model import CostModel
 from repro.core.plan import PlanEstimate, SchedulingPlan
-from repro.errors import InfeasiblePlanError
+from repro.errors import ConfigurationError, InfeasiblePlanError
 from repro.numerics import ordered_sum
 from repro.obs.registry import REGISTRY
 
@@ -93,15 +93,33 @@ class Scheduler:
     """Searches for the energy-optimal feasible plan (Eq 1 s.t. Eqs 2-3)."""
 
     def __init__(
-        self, model: CostModel, max_replicas_per_stage: Optional[int] = None
+        self,
+        model: CostModel,
+        max_replicas_per_stage: Optional[int] = None,
+        allowed_cores: Optional[Iterable[int]] = None,
     ) -> None:
         self.model = model
         self.board = model.board
-        if max_replicas_per_stage is None:
-            max_replicas_per_stage = len(self.board.cores)
-        self.max_replicas_per_stage = max_replicas_per_stage
         self._little = list(self.board.little_core_ids)
         self._big = list(self.board.big_core_ids)
+        if allowed_cores is not None:
+            # Restrict the search to a surviving subset (the controller's
+            # failover path after a permanent core failure).
+            allowed = set(allowed_cores)
+            unknown = allowed - set(self.board.core_by_id)
+            if unknown:
+                raise ConfigurationError(
+                    f"allowed_cores names unknown cores {sorted(unknown)}"
+                )
+            self._little = [c for c in self._little if c in allowed]
+            self._big = [c for c in self._big if c in allowed]
+            if not self._little and not self._big:
+                raise ConfigurationError(
+                    "allowed_cores leaves no core to schedule on"
+                )
+        if max_replicas_per_stage is None:
+            max_replicas_per_stage = len(self._little) + len(self._big)
+        self.max_replicas_per_stage = max_replicas_per_stage
         #: instrumentation of the most recent :meth:`search` call
         self.last_search_counters: Dict[str, int] = {
             "expanded": 0, "pruned": 0, "evaluated": 0, "warm_pruned": 0,
@@ -382,7 +400,7 @@ class Scheduler:
         fallback: Optional[PlanEstimate] = None
         best_overall: Optional[PlanEstimate] = None
         best_counts: Optional[Tuple[int, ...]] = None
-        core_count = len(self.board.cores)
+        core_count = len(self._little) + len(self._big)
 
         if warm_start is not None and warm_start.graph == self.model.graph:
             incumbent = self.model.evaluate(warm_start)

@@ -1,0 +1,40 @@
+"""Fault injection: declarative fault plans and the chaos harness.
+
+:mod:`repro.faults.model` is the dependency-light core (imported by the
+runtime executor): typed fault events, seeded schedules and the
+pre-drawn corruption outcomes. :mod:`repro.faults.chaos` is the
+downstream harness gluing fault plans to windowed sessions and the
+:class:`~repro.control.controller.SessionController` failover path — it
+imports :mod:`repro.control` and :mod:`repro.bench`, so the runtime
+never imports it back.
+
+Import note: ``from repro.faults import chaos`` lazily, or import the
+names re-exported here — pulling chaos symbols at package import time
+would cycle through :mod:`repro.runtime`.
+"""
+
+from repro.faults.model import (
+    BatchCorruption,
+    CoreFailure,
+    CoreStall,
+    CorruptedBatch,
+    DvfsThrottle,
+    FaultEvent,
+    FaultPlan,
+    FiredFault,
+    InterconnectDegradation,
+    corruption_schedule,
+)
+
+__all__ = [
+    "BatchCorruption",
+    "CoreFailure",
+    "CoreStall",
+    "CorruptedBatch",
+    "DvfsThrottle",
+    "FaultEvent",
+    "FaultPlan",
+    "FiredFault",
+    "InterconnectDegradation",
+    "corruption_schedule",
+]

@@ -16,7 +16,7 @@ events; 1 lists every violation found. The checks come in two layers:
   :func:`repro.analysis.verify.verify_chrome_payload` (itself
   stdlib-only, so this module stays dependency-free) so the two tools
   cannot drift: per-track non-decreasing timestamps, monotone energy
-  counters, non-overlapping spans (``TRC001``-``TRC005``). Only
+  counters, non-overlapping spans (``TRC001``-``TRC007``). Only
   error-severity findings fail validation; warnings (e.g. ``TRC004``
   same-timestamp counter pairs) are the verifier CLI's business.
 """

@@ -106,6 +106,12 @@ class TraceRecorder:
         self.replans_adopted = 0
         self.plan_migrations = 0
         self.migration_pause_us = 0.0
+        # fault-subsystem counters (recorder-level only, same reason)
+        self.core_failures = 0
+        self.core_stalls = 0
+        self.interconnect_faults = 0
+        self.corrupted_batches = 0
+        self.batch_retries = 0
 
     # -- run structure -------------------------------------------------------
 
@@ -199,6 +205,73 @@ class TraceRecorder:
         self._emit(
             "fault-injected", "i", ts_us, TID_RUNTIME, category="fault",
             core=core_id, capped_mhz=frequency_mhz,
+        )
+
+    def core_failure(
+        self, core_id: int, failover_core: int, ts_us: float
+    ) -> None:
+        """Permanent core death; later work reroutes to ``failover_core``.
+
+        Trace invariant TRC006 holds that no task span starts on
+        ``core_id`` after this instant."""
+        self.fault_injections += 1
+        self.core_failures += 1
+        self._emit(
+            "core-failure", "i", ts_us, TID_RUNTIME, category="fault",
+            core=core_id, failover=failover_core,
+        )
+
+    def core_stall(
+        self, core_id: int, ts_us: float, stall_us: float
+    ) -> None:
+        """Transient stall charged to the core's next task."""
+        self.fault_injections += 1
+        self.core_stalls += 1
+        self._emit(
+            "core-stall", "i", ts_us, TID_RUNTIME, category="fault",
+            core=core_id, stall_us=stall_us,
+        )
+
+    def interconnect_degraded(
+        self, path: str, ts_us: float, factor: float
+    ) -> None:
+        """One interconnect path class lost bandwidth by ``factor``."""
+        self.fault_injections += 1
+        self.interconnect_faults += 1
+        self._emit(
+            "interconnect-degraded", "i", ts_us, TID_RUNTIME,
+            category="fault", path=path, factor=factor,
+        )
+
+    def batch_corrupted(
+        self,
+        batch_index: int,
+        ts_us: float,
+        attempts: int,
+        exhausted: bool = False,
+    ) -> None:
+        """Decode verification flagged a delivered batch as corrupt.
+
+        Trace invariant TRC007 holds that every ``batch-retry`` event
+        names a batch with a matching ``batch-corrupted`` event."""
+        self.corrupted_batches += 1
+        self._emit(
+            "batch-corrupted", "i", ts_us, TID_RUNTIME, category="fault",
+            batch=batch_index, attempts=attempts, exhausted=exhausted,
+        )
+
+    def batch_retry(
+        self,
+        batch_index: int,
+        attempt: int,
+        ts_us: float,
+        backoff_us: float = 0.0,
+    ) -> None:
+        """One re-run of the final stage after a corrupt delivery."""
+        self.batch_retries += 1
+        self._emit(
+            "batch-retry", "i", ts_us, TID_RUNTIME, category="fault",
+            batch=batch_index, attempt=attempt, backoff_us=backoff_us,
         )
 
     def batch_complete(self, batch_index: int, ts_us: float) -> None:

@@ -32,6 +32,7 @@ byte-identical to an untraced run's (tests assert this).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import (
     Callable,
@@ -50,6 +51,15 @@ import numpy as np
 from repro.compression.base import StepCost
 from repro.core.plan import SchedulingPlan
 from repro.errors import ConfigurationError
+from repro.faults.model import (
+    CoreFailure,
+    CoreStall,
+    DvfsThrottle,
+    FaultPlan,
+    FiredFault,
+    InterconnectDegradation,
+    corruption_schedule,
+)
 from repro.numerics import ordered_sum
 from repro.obs.trace import TraceRecorder, set_active_recorder
 from repro.runtime.metrics import BatchMetrics, RepetitionResult, RunResult
@@ -57,6 +67,7 @@ from repro.simcore.boards import BoardSpec
 from repro.simcore.dvfs import Governor, StaticGovernor, get_governor
 from repro.simcore.engine import Simulator, Store
 from repro.simcore.hardware import replication_factor
+from repro.simcore.interconnect import Path
 from repro.simcore.power import EnergyMeter
 
 __all__ = [
@@ -99,8 +110,10 @@ class ExecutionConfig:
     shared_state: bool = False
     shared_state_lock_penalty: float = 0.165
     shared_state_energy_penalty: float = 0.10
-    #: optional injected thermal-throttling fault
+    #: deprecated single thermal-throttling fault — use ``fault_plan``
     fault: Optional["FaultSpec"] = None
+    #: injected fault schedule (see :mod:`repro.faults`)
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.latency_constraint_us_per_byte <= 0:
@@ -109,14 +122,45 @@ class ExecutionConfig:
             raise ConfigurationError("need at least one repetition and batch")
         if self.warmup_batches >= self.batches_per_repetition:
             raise ConfigurationError("warmup must leave measurable batches")
+        if self.fault is not None:
+            adapted = FaultPlan(
+                events=(
+                    DvfsThrottle(
+                        core_id=self.fault.core_id,
+                        at_batch=self.fault.at_batch,
+                        frequency_mhz=self.fault.frequency_mhz,
+                    ),
+                )
+            )
+            if self.fault_plan is None:
+                warnings.warn(
+                    "ExecutionConfig.fault is deprecated; pass "
+                    "fault_plan=FaultPlan(events=(DvfsThrottle(...),)) "
+                    "instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                object.__setattr__(self, "fault_plan", adapted)
+            elif self.fault_plan != adapted:
+                # dataclasses.replace() re-runs this hook with both
+                # fields populated; only a genuine disagreement is an
+                # error.
+                raise ConfigurationError(
+                    "fault and fault_plan disagree; drop the deprecated "
+                    "fault field"
+                )
 
 
 @dataclass(frozen=True)
 class FaultSpec:
     """A thermal-throttling fault: after ``at_batch`` batches complete,
     ``core_id`` is capped to ``frequency_mhz`` (the SoC's thermal
-    governor stepping in). Used for failure-injection testing and the
-    ``abl_thermal`` experiment."""
+    governor stepping in).
+
+    Deprecated: :class:`~repro.faults.model.FaultPlan` with a
+    :class:`~repro.faults.model.DvfsThrottle` event is the general
+    spelling; ``ExecutionConfig(fault=...)`` still works through an
+    adapter but emits a :class:`DeprecationWarning`."""
 
     core_id: int
     at_batch: int
@@ -169,7 +213,24 @@ class _CoreServer:
         self.energy_by_batch: Dict[int, float] = {}
         self.spans: List = []  # (task_name, batch, start_us, end_us)
         self._last_task: Optional[str] = None
+        self.failed = False
+        self.failover: Optional["_CoreServer"] = None
+        self.forward_penalty = 1.0
         simulator.process(self._serve(), name=f"core{core_spec.core_id}")
+
+    def fail(self, failover: "_CoreServer", penalty: float) -> None:
+        """Mark the core permanently dead.
+
+        Work already queued here (the in-flight batch) is lost and
+        re-enqueued on ``failover``: its duration rescales by the η
+        ratio of the two cores at the reference κ times ``penalty``
+        (emergency re-execution without the planned placement), and its
+        energy scales with the re-executed occupancy. The dead core
+        emits no further service spans (trace invariant TRC006).
+        """
+        self.failed = True
+        self.failover = failover
+        self.forward_penalty = penalty
 
     def submit(
         self,
@@ -189,6 +250,26 @@ class _CoreServer:
         while True:
             item = yield self.requests.get()
             task_name, batch_index, duration, energy_uj, done = item
+            if self.failed:
+                # The dead core's in-flight batch is lost; re-enqueue it
+                # on the failover server and complete the waiter when the
+                # re-execution does. No span, busy time or energy lands
+                # on this core.
+                target = self.failover
+                scale = (
+                    self.core.eta_at(_SWITCH_KAPPA, self.frequency_mhz)
+                    / target.core.eta_at(
+                        _SWITCH_KAPPA, target.frequency_mhz
+                    )
+                ) * self.forward_penalty
+                forwarded = target.submit(
+                    task_name, batch_index, duration * scale,
+                    energy_uj * scale,
+                )
+                forwarded.callbacks.append(
+                    lambda _event, waiter=done: waiter.succeed(None)
+                )
+                continue
             if self._last_task is not None and self._last_task != task_name:
                 switch_us = self.switch_instructions / self.core.eta_at(
                     _SWITCH_KAPPA, self.frequency_mhz
@@ -241,6 +322,11 @@ class WindowObservation:
     batch_count: int
     now_us: float
     latencies_us_per_byte: Tuple[float, ...]
+    #: cores that died (permanent fault) up to this boundary — the
+    #: heartbeat signal a controller's failover path reads
+    failed_cores: Tuple[int, ...] = ()
+    #: fault-throttled cores and their capped frequency (MHz)
+    throttled_mhz: Tuple[Tuple[int, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -279,6 +365,11 @@ class SessionResult:
     migration_energy_uj: float
     plan_descriptions: Tuple[str, ...]
     decisions: Tuple[WindowDecision, ...]
+    #: faults that fired during the session, in firing order
+    fault_events: Tuple[FiredFault, ...] = ()
+    #: per-batch completion timestamps (µs) — recovery latency is read
+    #: off these against the fault firing times
+    completion_ts_us: Tuple[float, ...] = ()
 
     @property
     def final_plan_description(self) -> str:
@@ -310,6 +401,7 @@ class _RepetitionRun:
         governor: Governor,
         dynamics: MechanismDynamics,
         shared_state_stages: Set[int],
+        repetition: int = 0,
     ) -> None:
         self.config = executor.config
         self.board = executor.board
@@ -321,6 +413,24 @@ class _RepetitionRun:
         self.shared_state_stages = shared_state_stages
         self.batch_count = len(per_batch_step_costs)
         self.interconnect = self.board.interconnect
+        self.repetition = repetition
+
+        # Injected-fault state. Everything is pre-resolved here so the
+        # fault-free path stays byte-identical: empty dicts make every
+        # in-loop guard a no-op and no extra RNG draw ever happens.
+        fault_plan = self.config.fault_plan
+        self.fault_schedule: Dict[int, Tuple] = (
+            fault_plan.schedule_for(repetition)
+            if fault_plan is not None else {}
+        )
+        self.corrupted = (
+            corruption_schedule(fault_plan, repetition, self.batch_count)
+            if fault_plan is not None else {}
+        )
+        self.failed_cores: Dict[int, int] = {}  # dead core -> fallback
+        self.fault_throttled: Dict[int, float] = {}
+        self.reroute_penalty = 0.0
+        self.fired_faults: List[FiredFault] = []
 
         # Per-batch merged stage costs (global batch indices).
         self.stage_costs: List[List[StepCost]] = [
@@ -360,8 +470,8 @@ class _RepetitionRun:
         self.completions: Dict[int, float] = {}
         self.pending_stall: Dict[int, float] = {}
         self.previous_busy: Dict[int, float] = {c: 0.0 for c in self.servers}
-        self.previous_time = [0.0]
-        self.completed_batches = [0]
+        self.previous_time = 0.0
+        self.completed_batches = 0
 
     # -- governor / fault hook ----------------------------------------------
 
@@ -370,23 +480,12 @@ class _RepetitionRun:
         simulator = self.simulator
         servers = self.servers
         governor = self.governor
-        self.completed_batches[0] += 1
-        fault = self.config.fault
-        if (
-            fault is not None
-            and self.completed_batches[0] == fault.at_batch
-            and fault.core_id in servers
-        ):
-            servers[fault.core_id].frequency_mhz = min(
-                servers[fault.core_id].frequency_mhz,
-                fault.frequency_mhz,
-            )
-            if self.trace is not None:
-                self.trace.fault(
-                    fault.core_id, simulator.now, fault.frequency_mhz
-                )
+        self.completed_batches += 1
+        if self.fault_schedule:
+            for event in self.fault_schedule.pop(self.completed_batches, ()):
+                self._fire(event)
         now = simulator.now
-        elapsed = now - self.previous_time[0]
+        elapsed = now - self.previous_time
         if elapsed <= 0.0:
             return
         utilization = {}
@@ -395,7 +494,7 @@ class _RepetitionRun:
                 (server.busy_us - self.previous_busy[core_id]) / elapsed, 1.0
             )
             self.previous_busy[core_id] = server.busy_us
-        self.previous_time[0] = now
+        self.previous_time = now
         before = dict(governor.frequencies)
         after = governor.observe(utilization)
         changes = [c for c in after if after[c] != before[c]]
@@ -411,6 +510,105 @@ class _RepetitionRun:
                 self.pending_stall[core_id] = (
                     self.pending_stall.get(core_id, 0.0) + stall_us * scale
                 )
+
+    # -- fault firing --------------------------------------------------------
+
+    def _failover_target(self, core_id: int) -> int:
+        """Deterministic emergency fallback for a dead core: the
+        lowest-id surviving core of the same cluster, else the lowest-id
+        survivor anywhere. Raises if every core is dead."""
+        dead = set(self.failed_cores) | {core_id}
+        victim = self.board.core_by_id[core_id]
+        survivors = [
+            c.core_id for c in self.board.cores if c.core_id not in dead
+        ]
+        if not survivors:
+            raise ConfigurationError(
+                "fault plan killed every core on the board"
+            )
+        same_cluster = [
+            c for c in survivors
+            if self.board.core_by_id[c].is_big == victim.is_big
+        ]
+        return min(same_cluster) if same_cluster else min(survivors)
+
+    def route_core(self, core_id: int) -> int:
+        """Resolve a planned core through the failure map (transitively,
+        in case a fallback died later)."""
+        seen = set()
+        while core_id in self.failed_cores and core_id not in seen:
+            seen.add(core_id)
+            core_id = self.failed_cores[core_id]
+        return core_id
+
+    def _fire(self, event) -> None:
+        """Apply one batch-boundary fault event to the live simulation."""
+        simulator = self.simulator
+        servers = self.servers
+        now = simulator.now
+        batch = self.completed_batches
+        if isinstance(event, DvfsThrottle):
+            if event.core_id not in servers:
+                return
+            servers[event.core_id].frequency_mhz = min(
+                servers[event.core_id].frequency_mhz,
+                event.frequency_mhz,
+            )
+            self.fault_throttled[event.core_id] = min(
+                self.fault_throttled.get(event.core_id, float("inf")),
+                event.frequency_mhz,
+            )
+            if self.trace is not None:
+                self.trace.fault(event.core_id, now, event.frequency_mhz)
+            self.fired_faults.append(FiredFault(
+                kind=event.kind, ts_us=now, batch=batch,
+                core_id=event.core_id,
+                detail=f"capped at {event.frequency_mhz:g} MHz",
+            ))
+        elif isinstance(event, CoreStall):
+            if event.core_id not in servers:
+                return
+            self.pending_stall[event.core_id] = (
+                self.pending_stall.get(event.core_id, 0.0) + event.stall_us
+            )
+            if self.trace is not None:
+                self.trace.core_stall(event.core_id, now, event.stall_us)
+            self.fired_faults.append(FiredFault(
+                kind=event.kind, ts_us=now, batch=batch,
+                core_id=event.core_id,
+                detail=f"stalled {event.stall_us:g} us",
+            ))
+        elif isinstance(event, CoreFailure):
+            if event.core_id not in servers or event.core_id in self.failed_cores:
+                return
+            target = self._failover_target(event.core_id)
+            self.failed_cores[event.core_id] = target
+            self.reroute_penalty = max(
+                self.reroute_penalty, event.reroute_penalty
+            )
+            servers[event.core_id].fail(
+                servers[target], 1.0 + event.reroute_penalty
+            )
+            if self.trace is not None:
+                self.trace.core_failure(event.core_id, target, now)
+            self.fired_faults.append(FiredFault(
+                kind=event.kind, ts_us=now, batch=batch,
+                core_id=event.core_id,
+                detail=f"failover to core {target}",
+            ))
+        elif isinstance(event, InterconnectDegradation):
+            path = Path(event.path)
+            self.interconnect = self.interconnect.degraded(
+                path, event.factor
+            )
+            if self.trace is not None:
+                self.trace.interconnect_degraded(
+                    event.path, now, event.factor
+                )
+            self.fired_faults.append(FiredFault(
+                kind=event.kind, ts_us=now, batch=batch,
+                detail=f"{event.path} slowed x{event.factor:g}",
+            ))
 
     # -- plan spawning -------------------------------------------------------
 
@@ -429,7 +627,6 @@ class _RepetitionRun:
         trace = self.trace
         simulator = self.simulator
         meter = self.meter
-        interconnect = self.interconnect
         servers = self.servers
         rng = self.rng
         dynamics = self.dynamics
@@ -471,7 +668,6 @@ class _RepetitionRun:
 
         def task_process(stage_index: int, replica_index: int, core_id: int):
             replicas = plan.replicas(stage_index)
-            server = servers[core_id]
             lat_overhead = replication_factor(
                 board.replication_latency_overhead, replicas
             )
@@ -489,6 +685,13 @@ class _RepetitionRun:
                 )
             inboxes = stage_inputs[stage_index][replica_index]
             for batch_index in range(batch_start, batch_start + batch_count):
+                # Planned placement, resolved through the failure map. On
+                # a healthy run failed_cores is empty and this is the
+                # planned core, byte-for-byte.
+                routed_core = core_id
+                if self.failed_cores:
+                    routed_core = self.route_core(core_id)
+                server = servers[routed_core]
                 if stage_index == 0:
                     yield inboxes[0].get()  # source token
                 else:
@@ -496,12 +699,12 @@ class _RepetitionRun:
                     for inbox in inboxes:
                         token = yield inbox.get()
                         producer_core, transfer_bytes = token[1], token[2]
-                        path = board.path_between(producer_core, core_id)
-                        comm_us += interconnect.transfer_latency_us(
+                        path = board.path_between(producer_core, routed_core)
+                        comm_us += self.interconnect.transfer_latency_us(
                             path, transfer_bytes
                         )
                         meter.record_overhead(
-                            interconnect.message_energy(path)
+                            self.interconnect.message_energy(path)
                         )
                     if comm_us > 0.0:
                         yield simulator.timeout(comm_us)
@@ -517,6 +720,11 @@ class _RepetitionRun:
                 energy_uj = (
                     base_duration * power * energy_factor * lock_energy_factor
                 )
+                if routed_core != core_id:
+                    # Emergency-rerouted work runs off-plan: cold caches
+                    # and doubled-up queues until the controller replans.
+                    duration *= 1.0 + self.reroute_penalty
+                    energy_uj *= 1.0 + self.reroute_penalty
                 if dynamics.migration_rate_per_batch > 0.0 and (
                     rng.random() < dynamics.migration_rate_per_batch
                 ):
@@ -527,7 +735,7 @@ class _RepetitionRun:
                         * power
                     )
                     if trace is not None:
-                        trace.migration(core_id, simulator.now)
+                        trace.migration(routed_core, simulator.now)
                 extra_switches = (
                     (batch_bytes / replicas) / 1024.0
                     * dynamics.context_switches_per_kb
@@ -547,9 +755,9 @@ class _RepetitionRun:
                     )
                     if trace is not None:
                         trace.context_switch(
-                            core_id, extra_switches, simulator.now
+                            routed_core, extra_switches, simulator.now
                         )
-                duration += pending_stall.pop(core_id, 0.0)
+                duration += pending_stall.pop(routed_core, 0.0)
                 lock = stage_locks.get(stage_index)
                 if lock is not None:
                     token = yield lock.get()
@@ -566,6 +774,44 @@ class _RepetitionRun:
                         final_tokens.get(batch_index, 0) + 1
                     )
                     if final_tokens[batch_index] == final_replicas:
+                        corrupt = self.corrupted.pop(batch_index, None)
+                        if corrupt is not None:
+                            # Decode verification caught a corrupt batch:
+                            # re-run the final stage after each capped
+                            # exponential backoff. The inflated completion
+                            # time is what violation accounting sees.
+                            if trace is not None:
+                                trace.batch_corrupted(
+                                    batch_index,
+                                    simulator.now,
+                                    corrupt.attempts,
+                                    exhausted=corrupt.exhausted,
+                                )
+                            self.fired_faults.append(FiredFault(
+                                kind="batch-corruption",
+                                ts_us=simulator.now,
+                                batch=batch_index,
+                                core_id=routed_core,
+                                detail=(
+                                    f"{corrupt.attempts} retries"
+                                    + (
+                                        " (exhausted)"
+                                        if corrupt.exhausted else ""
+                                    )
+                                ),
+                            ))
+                            for attempt, backoff in enumerate(
+                                corrupt.backoff_us
+                            ):
+                                if trace is not None:
+                                    trace.batch_retry(
+                                        batch_index,
+                                        attempt,
+                                        simulator.now,
+                                        backoff_us=backoff,
+                                    )
+                                yield simulator.timeout(duration + backoff)
+                                meter.record_overhead(energy_uj)
                         completions[batch_index] = simulator.now
                         if trace is not None:
                             trace.batch_complete(batch_index, simulator.now)
@@ -577,7 +823,7 @@ class _RepetitionRun:
                         inbox = stage_inputs[stage_index + 1][consumer_index][
                             replica_index
                         ]
-                        yield inbox.put((batch_index, core_id, share))
+                        yield inbox.put((batch_index, routed_core, share))
 
         def source_process():
             for batch_index in range(batch_start, batch_start + batch_count):
@@ -663,6 +909,7 @@ class PipelineExecutor:
                     governor,
                     dynamics,
                     shared_state_stages,
+                    repetition=repetition,
                 )
                 measured = batches[self.config.warmup_batches:]
                 latency = float(
@@ -699,6 +946,7 @@ class PipelineExecutor:
         governor: Optional[Governor] = None,
         dynamics: MechanismDynamics = MechanismDynamics(),
         shared_state_stages: Set[int] = frozenset(),
+        repetition: int = 0,
     ) -> List[BatchMetrics]:
         """One repetition with full control (used by the adaptive loop)."""
         if governor is None:
@@ -711,6 +959,7 @@ class PipelineExecutor:
             governor,
             dynamics,
             shared_state_stages,
+            repetition=repetition,
         )
 
     # -- internals ------------------------------------------------------------
@@ -729,6 +978,7 @@ class PipelineExecutor:
         governor: Governor,
         dynamics: MechanismDynamics,
         shared_state_stages: Set[int],
+        repetition: int = 0,
     ) -> List[BatchMetrics]:
         run = _RepetitionRun(
             self,
@@ -739,6 +989,7 @@ class PipelineExecutor:
             governor,
             dynamics,
             shared_state_stages,
+            repetition=repetition,
         )
         run.spawn_plan(plan, 0, run.batch_count)
         run.simulator.run()
@@ -842,6 +1093,10 @@ class PipelineExecutor:
                             batch_count=count,
                             now_us=run.simulator.now,
                             latencies_us_per_byte=tuple(latencies),
+                            failed_cores=tuple(sorted(run.failed_cores)),
+                            throttled_mhz=tuple(
+                                sorted(run.fault_throttled.items())
+                            ),
                         )
                     )
                     if decision is None or not decision.replanned:
@@ -907,6 +1162,10 @@ class PipelineExecutor:
             migration_energy_uj=totals["energy_uj"],
             plan_descriptions=tuple(plan_descriptions),
             decisions=tuple(decisions),
+            fault_events=tuple(run.fired_faults),
+            completion_ts_us=tuple(
+                run.completions[b] for b in range(batch_count)
+            ),
         )
 
     def _collect_metrics(

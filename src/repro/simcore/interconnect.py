@@ -130,6 +130,32 @@ class InterconnectSpec:
             return 0.0
         return self.costs[path].message_energy_uj
 
+    def degraded(self, path: Path, factor: float) -> "InterconnectSpec":
+        """A copy with one path class's bandwidth degraded by ``factor``.
+
+        Per-byte unit cost, per-message overhead ω, raw latency and
+        message energy scale up by ``factor``; raw bandwidth scales down
+        — the cost surface a contended or retraining link presents.
+        Used by the fault subsystem's
+        :class:`~repro.faults.model.InterconnectDegradation` event.
+        """
+        if path is Path.LOCAL:
+            raise ConfigurationError("cannot degrade the LOCAL pseudo-path")
+        if factor < 1.0:
+            raise ConfigurationError(
+                "degradation factor must be >= 1 (a speed-up is not a fault)"
+            )
+        base = self.costs[path]
+        costs: Dict[Path, PathCost] = dict(self.costs)
+        costs[path] = PathCost(
+            unit_cost_us_per_byte=base.unit_cost_us_per_byte * factor,
+            message_overhead_us=base.message_overhead_us * factor,
+            raw_bandwidth_gbps=base.raw_bandwidth_gbps / factor,
+            raw_latency_ns=base.raw_latency_ns * factor,
+            message_energy_uj=base.message_energy_uj * factor,
+        )
+        return InterconnectSpec(costs=costs)
+
     def symmetrized(self) -> "InterconnectSpec":
         """A copy that prices both inter-cluster directions like ``c1``.
 

@@ -409,7 +409,7 @@ def two_stage_plan(steps0, steps1, assignments):
 
 class TestPlanInvariants:
     def test_invariant_table(self):
-        assert len(INVARIANTS) == 10
+        assert len(INVARIANTS) == 12
         assert sum(1 for code in INVARIANTS if code.startswith("PLN")) == 5
 
     def test_pln001_cyclic_plan(self):
@@ -613,6 +613,52 @@ class TestTraceInvariants:
     def test_trc005_non_integer_track(self):
         found = verify_chrome_payload(payload(event(tid="core0")))
         assert codes(found) == ["TRC005"]
+
+    def test_trc006_span_after_core_failure(self):
+        found = verify_chrome_payload(payload(
+            event(name="core-failure", ph="i", ts=5.0, tid=902,
+                  cat="fault", core=4, failover=5),
+            event(name="t0:s0", ph="X", ts=6.0, dur=1.0, tid=4,
+                  cat="task"),
+        ))
+        assert codes(found) == ["TRC006"]
+        assert found[0].severity == "error"
+
+    def test_trc006_span_at_failure_instant_clean(self):
+        # the failure fires at a batch boundary the span helped produce
+        found = verify_chrome_payload(payload(
+            event(name="core-failure", ph="i", ts=5.0, tid=902,
+                  cat="fault", core=4, failover=5),
+            event(name="t0:s0", ph="X", ts=5.0, dur=1.0, tid=4,
+                  cat="task"),
+        ))
+        assert found == []
+
+    def test_trc006_surviving_cores_keep_working(self):
+        found = verify_chrome_payload(payload(
+            event(name="core-failure", ph="i", ts=5.0, tid=902,
+                  cat="fault", core=4, failover=5),
+            event(name="t0:s0", ph="X", ts=6.0, dur=1.0, tid=5,
+                  cat="task"),
+        ))
+        assert found == []
+
+    def test_trc007_retry_without_corruption(self):
+        found = verify_chrome_payload(payload(
+            event(name="batch-retry", ph="i", ts=2.0, tid=902,
+                  cat="fault", batch=3, attempt=1),
+        ))
+        assert codes(found) == ["TRC007"]
+        assert found[0].severity == "error"
+
+    def test_trc007_matched_retry_clean(self):
+        found = verify_chrome_payload(payload(
+            event(name="batch-corrupted", ph="i", ts=1.0, tid=902,
+                  cat="fault", batch=3, attempts=1),
+            event(name="batch-retry", ph="i", ts=2.0, tid=902,
+                  cat="fault", batch=3, attempt=1),
+        ))
+        assert found == []
 
     def test_metadata_events_ignored(self):
         found = verify_chrome_payload(payload(

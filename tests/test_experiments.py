@@ -37,8 +37,9 @@ REPS = 6
 
 class TestRegistry:
     def test_registry_size(self):
-        # 16 paper items + 5 reproduction ablations + adaptive loop.
-        assert len(EXPERIMENTS) == 22
+        # 16 paper items + 5 reproduction ablations + adaptive loop
+        # + chaos recovery.
+        assert len(EXPERIMENTS) == 23
 
     def test_every_paper_item_present(self):
         expected = {
@@ -47,7 +48,7 @@ class TestRegistry:
             "fig17", "tab4", "tab5",
         }
         assert expected <= set(EXPERIMENTS)
-        extras = set(EXPERIMENTS) - expected - {"adaptive"}
+        extras = set(EXPERIMENTS) - expected - {"adaptive", "chaos"}
         assert all(name.startswith("abl_") for name in extras)
 
     def test_unknown_id_rejected(self):

@@ -107,6 +107,48 @@ class TestThrottling:
         )
 
 
+class TestFaultSpecDeprecation:
+    def test_fault_kwarg_warns(self):
+        with pytest.deprecated_call():
+            ExecutionConfig(
+                latency_constraint_us_per_byte=26.0,
+                fault=FaultSpec(core_id=4, at_batch=3, frequency_mhz=600.0),
+            )
+
+    def test_legacy_fault_equivalent_to_fault_plan(self, setup):
+        """The adapter must preserve byte-identical behaviour: a legacy
+        ``fault=`` run and the explicit ``fault_plan=`` spelling of the
+        same throttle produce the same numbers."""
+        from repro.faults.model import DvfsThrottle, FaultPlan
+
+        board, profile, plan = setup
+        with pytest.deprecated_call():
+            legacy = run(
+                board, profile, plan,
+                fault=FaultSpec(
+                    core_id=4, at_batch=3, frequency_mhz=600.0
+                ),
+            )
+        executor = PipelineExecutor(
+            board,
+            ExecutionConfig(
+                latency_constraint_us_per_byte=26.0,
+                repetitions=1,
+                batches_per_repetition=10,
+                warmup_batches=2,
+                noise_sigma=0.0,
+                fault_plan=FaultPlan(events=(
+                    DvfsThrottle(
+                        core_id=4, at_batch=3, frequency_mhz=600.0
+                    ),
+                )),
+            ),
+        )
+        per_batch = (list(profile.per_batch_step_costs) * 10)[:10]
+        modern = executor.run(plan, per_batch, profile.batch_size_bytes)
+        assert modern == legacy
+
+
 class TestThermalAblation:
     def test_regulated_recovers_static_does_not(self, small_harness):
         from repro.bench.exp_ablations import abl_thermal
