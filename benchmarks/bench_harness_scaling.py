@@ -78,11 +78,11 @@ def fresh_harness(repetitions: int, cache) -> Harness:
     )
 
 
-def time_grid(specs, mechanisms, repetitions, jobs, cache):
+def time_grid(specs, mechanisms, repetitions, jobs, cache, chunk=None):
     harness = fresh_harness(repetitions, cache)
     before = REGISTRY.snapshot()
     started = time.perf_counter()
-    results = harness.grid(specs, mechanisms, jobs=jobs)
+    results = harness.grid(specs, mechanisms, jobs=jobs, chunk=chunk)
     elapsed = time.perf_counter() - started
     phases = grid_phases(before, REGISTRY.snapshot())
     return elapsed, results, harness, phases
@@ -214,10 +214,45 @@ def bench_chaos_recovery(boards=("rk3399", "jetson_tx2_like")):
     return per_board
 
 
-def run_scaling(jobs_list, repetitions, quick, output):
+def load_baseline(path):
+    """The previously committed record at ``path`` (None if absent)."""
+    try:
+        with open(path) as source:
+            return json.load(source)
+    except (OSError, ValueError):
+        return None
+
+
+def check_baseline(baseline, record, tolerance=0.20):
+    """Fail if cold serial throughput regressed > ``tolerance`` vs the
+    committed record (the CI perf-smoke gate)."""
+    if not baseline:
+        print("no committed baseline; skipping regression check")
+        return
+    if baseline.get("grid") != record["grid"]:
+        print("baseline grid differs (quick vs full?); skipping check")
+        return
+    serial_cells_per_sec = record["trajectory"]["cells_per_sec"]
+    previous = baseline["runs"][0]["cells_per_sec"]
+    floor = previous * (1.0 - tolerance)
+    status = "ok" if serial_cells_per_sec >= floor else "REGRESSION"
+    print(
+        f"baseline check: {serial_cells_per_sec:.2f} cells/s vs committed "
+        f"{previous:.2f} (floor {floor:.2f}): {status}"
+    )
+    if serial_cells_per_sec < floor:
+        raise SystemExit(
+            f"cold serial throughput regressed more than "
+            f"{tolerance:.0%}: {serial_cells_per_sec:.2f} cells/s < "
+            f"{floor:.2f} (committed {previous:.2f})"
+        )
+
+
+def run_scaling(jobs_list, repetitions, quick, output, chunk=None):
     specs, mechanisms = build_grid(quick)
     cells = len(specs) * len(mechanisms)
     cpu_count = os.cpu_count() or 1
+    previous_record = load_baseline(output)
     print(
         f"grid: {len(specs)} workloads x {len(mechanisms)} mechanisms = "
         f"{cells} cells, {repetitions} repetitions, {cpu_count} CPUs"
@@ -240,12 +275,14 @@ def run_scaling(jobs_list, repetitions, quick, output):
             "phases": serial_phases,
         }
     ]
+    from repro.bench.parallel import resolve_jobs
+
     last_cache_dir = None
     for jobs in [j for j in jobs_list if j > 1]:
         cache_dir = tempfile.mkdtemp(prefix=f"cstream-bench-j{jobs}-")
         elapsed, results, _, phases = time_grid(
             specs, mechanisms, repetitions, jobs=jobs,
-            cache=ResultCache(cache_dir),
+            cache=ResultCache(cache_dir), chunk=chunk,
         )
         assert results == reference, (
             f"jobs={jobs} produced different numbers than the serial run"
@@ -256,6 +293,7 @@ def run_scaling(jobs_list, repetitions, quick, output):
         runs.append(
             {
                 "jobs": jobs,
+                "effective_jobs": resolve_jobs(jobs),
                 "cold_seconds": round(elapsed, 4),
                 "cells_per_sec": round(cells / elapsed, 2),
                 "speedup_vs_serial": round(speedup, 3),
@@ -301,6 +339,20 @@ def run_scaling(jobs_list, repetitions, quick, output):
 
     chaos = bench_chaos_recovery()
 
+    serial_cells_per_sec = cells / serial_seconds
+    trajectory = {"cells_per_sec": round(serial_cells_per_sec, 2)}
+    if previous_record:
+        previous_serial = previous_record["runs"][0]["cells_per_sec"]
+        trajectory["previous_cells_per_sec"] = previous_serial
+        trajectory["speedup_vs_previous"] = round(
+            serial_cells_per_sec / previous_serial, 2
+        )
+        print(
+            f"trajectory: {previous_serial:.2f} -> "
+            f"{serial_cells_per_sec:.2f} cold serial cells/s "
+            f"({trajectory['speedup_vs_previous']:.2f}x)"
+        )
+
     record = {
         "bench": "harness_scaling",
         "grid": {
@@ -311,7 +363,9 @@ def run_scaling(jobs_list, repetitions, quick, output):
             "batch_bytes": BENCH_BATCH_BYTES,
         },
         "cpu_count": cpu_count,
+        "chunk": chunk,
         "runs": runs,
+        "trajectory": trajectory,
         "warm_cache": warm,
         "replanning": replanning,
         "chaos": chaos,
@@ -336,6 +390,12 @@ def test_harness_scaling():
     # the serial cold run spends real time simulating, and the registry
     # breakdown in the record shows it
     assert record["runs"][0]["phases"]["harness.simulate"] > 0
+    # requested worker counts are clamped to the machine, and the record
+    # says what actually ran
+    cpu_count = os.cpu_count() or 1
+    for run in record["runs"][1:]:
+        assert run["effective_jobs"] <= cpu_count
+    assert record["trajectory"]["cells_per_sec"] > 0
     assert record["warm_cache"]["phases"].get("cache.get", 0) >= 0
     # the replanning section tracks scheduler-search cost for the
     # control loop: warm-started replans must record their wall-clock
@@ -358,15 +418,27 @@ def test_harness_scaling():
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", default="1,2,4",
-                        help="comma-separated worker counts (default 1,2,4)")
+                        help="comma-separated worker counts (default 1,2,4; "
+                        "clamped to the core count)")
+    parser.add_argument("--chunk", type=int, default=None,
+                        help="grid cells per worker task (default: auto)")
     parser.add_argument("--repetitions", type=int,
                         default=int(os.environ.get("REPRO_REPETITIONS", 60)))
     parser.add_argument("--quick", action="store_true",
                         help="smaller grid (CI smoke)")
     parser.add_argument("--output", default="BENCH_harness.json")
+    parser.add_argument("--check-baseline", action="store_true",
+                        help="fail if cold serial cells/sec regressed more "
+                        "than 20%% vs the committed record at --output")
     args = parser.parse_args(argv)
     jobs_list = sorted({int(j) for j in args.jobs.split(",")})
-    run_scaling(jobs_list, args.repetitions, args.quick, args.output)
+    baseline = load_baseline(args.output) if args.check_baseline else None
+    record = run_scaling(
+        jobs_list, args.repetitions, args.quick, args.output,
+        chunk=args.chunk,
+    )
+    if args.check_baseline:
+        check_baseline(baseline, record)
     return 0
 
 

@@ -55,6 +55,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "else serial)",
     )
     parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help="grid cells per worker task (default: auto, about four "
+        "task waves per worker)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="persistent result-cache directory (default: REPRO_CACHE_DIR, "
@@ -78,11 +85,18 @@ def _build_harness(args) -> "Harness | None":
     :func:`default_harness` (which still honours ``REPRO_PARALLEL`` /
     ``REPRO_CACHE_DIR`` / ``REPRO_TRACE_DIR``).
     """
-    if args.jobs is None and args.cache_dir is None and args.trace_dir is None:
+    if (
+        args.jobs is None
+        and args.chunk is None
+        and args.cache_dir is None
+        and args.trace_dir is None
+    ):
         return None
     kwargs = {}
     if args.jobs is not None:
         kwargs["jobs"] = args.jobs
+    if args.chunk is not None:
+        kwargs["chunk"] = args.chunk
     if args.cache_dir is not None:
         from repro.bench.cache import ResultCache
 

@@ -56,6 +56,9 @@ TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 PAPER_LATENCY_CONSTRAINT = 26.0
 PAPER_BATCH_BYTES = 932_800
 
+#: process-wide dry-run memo, (spec, batches, seed) -> WorkloadProfile
+_PROFILE_MEMO: Dict[Tuple, WorkloadProfile] = {}
+
 DEFAULT_BATCH_BYTES = int(os.environ.get("REPRO_BATCH_BYTES", 65536))
 DEFAULT_REPETITIONS = int(os.environ.get("REPRO_REPETITIONS", 100))
 
@@ -164,6 +167,7 @@ class Harness:
         seed: int = 0,
         cache=_DEFAULT_CACHE,
         jobs: Optional[int] = None,
+        chunk: Optional[int] = None,
         trace_dir: Optional[str] = None,
     ) -> None:
         self.board = board if board is not None else rk3399()
@@ -177,6 +181,8 @@ class Harness:
         if jobs is None:
             jobs = int(os.environ.get("REPRO_PARALLEL", "1"))
         self.jobs = max(1, jobs)
+        #: default cells-per-worker-task of :meth:`grid` (None = auto)
+        self.chunk = chunk
         if trace_dir is None:
             trace_dir = os.environ.get(TRACE_DIR_ENV) or None
         self.trace_dir = trace_dir
@@ -264,16 +270,29 @@ class Harness:
         if key not in self._profiles:
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is None:
-                with REGISTRY.timer("harness.profile"):
-                    cached = profile_workload(
-                        spec.make_codec(),
-                        spec.make_dataset(),
-                        spec.batch_size,
-                        batches=max(
-                            self.profile_batches, self.batches_per_repetition
-                        ),
-                        seed=self.seed,
-                    )
+                batches = max(
+                    self.profile_batches, self.batches_per_repetition
+                )
+                # Process-wide memo: a dry run is a pure function of
+                # (spec, batches, seed) — WorkloadSpec names codec and
+                # dataset by registry name plus options — and the
+                # returned profile is frozen, so harnesses in one
+                # process (grid workers, benchmarks) share the
+                # measurement instead of re-compressing sample batches.
+                memo_key = (spec, batches, self.seed)
+                cached = _PROFILE_MEMO.get(memo_key)
+                if cached is None:
+                    with REGISTRY.timer("harness.profile"):
+                        cached = profile_workload(
+                            spec.make_codec(),
+                            spec.make_dataset(),
+                            spec.batch_size,
+                            batches=batches,
+                            seed=self.seed,
+                        )
+                    if len(_PROFILE_MEMO) >= 64:
+                        _PROFILE_MEMO.clear()
+                    _PROFILE_MEMO[memo_key] = cached
                 if self.cache is not None:
                     self.cache.put(key, cached)
             self._profiles[key] = cached
@@ -457,22 +476,28 @@ class Harness:
         specs: Sequence[WorkloadSpec],
         mechanisms: Sequence[str],
         jobs: Optional[int] = None,
+        chunk: Optional[int] = None,
         **config_overrides,
     ) -> Dict[Tuple[str, str], RunResult]:
         """Run a (workload × mechanism) grid, cached cell by cell.
 
         ``jobs > 1`` fans uncached cells out over worker processes (see
         :mod:`repro.bench.parallel`); the default comes from the
-        harness's ``jobs`` (i.e. ``REPRO_PARALLEL``, else serial). Cell
-        results are identical either way — each cell is an independent,
-        seeded DES run.
+        harness's ``jobs`` (i.e. ``REPRO_PARALLEL``, else serial), and
+        requests past ``os.cpu_count()`` are clamped with a warning.
+        ``chunk`` groups that many cells into one worker task (default:
+        about four task waves per worker). Cell results are identical
+        either way — each cell is an independent, seeded DES run.
         """
         jobs = self.jobs if jobs is None else max(1, jobs)
+        if chunk is None:
+            chunk = self.chunk
         if jobs > 1:
             from repro.bench.parallel import run_grid
 
             return run_grid(
-                self, specs, mechanisms, jobs=jobs, **config_overrides
+                self, specs, mechanisms, jobs=jobs, chunk=chunk,
+                **config_overrides
             )
         results = {}
         for spec in specs:

@@ -31,13 +31,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import Harness, WorkloadSpec
 from repro.runtime.metrics import RunResult
 
-__all__ = ["run_grid", "default_jobs", "PARALLEL_ENV"]
+__all__ = ["run_grid", "default_jobs", "resolve_jobs", "PARALLEL_ENV"]
 
 #: Environment knob: default worker count of ``run_grid`` (1 = serial).
 PARALLEL_ENV = "REPRO_PARALLEL"
@@ -46,6 +47,27 @@ PARALLEL_ENV = "REPRO_PARALLEL"
 def default_jobs() -> int:
     """The env-configured default parallelism (serial when unset)."""
     return max(1, int(os.environ.get(PARALLEL_ENV, "1")))
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Clamp a requested worker count to the machine's core count.
+
+    Oversubscribing DES workers only adds context-switch overhead and
+    memory pressure (each worker rebuilds a full harness), so a request
+    past ``os.cpu_count()`` is clamped with a :class:`RuntimeWarning`
+    rather than honored.
+    """
+    jobs = max(1, jobs)
+    available = os.cpu_count() or 1
+    if jobs > available:
+        warnings.warn(
+            f"requested jobs={jobs} exceeds cpu_count={available}; "
+            f"clamping to {available}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return available
+    return jobs
 
 
 #: the per-process harness a worker builds in its initializer
@@ -83,15 +105,24 @@ def _worker_initialize(payload_bytes: bytes) -> None:
     _WORKER_HARNESS = harness
 
 
-def _run_cell(
-    spec: WorkloadSpec,
-    mechanism: str,
+def _run_chunk(
+    cells: Sequence[Tuple[WorkloadSpec, str]],
     repetitions: Optional[int],
     config_overrides: Dict,
-) -> RunResult:
-    return _WORKER_HARNESS.run(
-        spec, mechanism, repetitions=repetitions, **config_overrides
-    )
+) -> List[RunResult]:
+    """Run several cells in one worker task, in submission order.
+
+    One task per *chunk* instead of per cell amortizes future/pickle
+    round-trips, and every cell of the chunk reuses the worker harness's
+    shipped profile table (the profile-sharing fast path) and in-memory
+    caches without re-entering the pool's task queue.
+    """
+    return [
+        _WORKER_HARNESS.run(
+            spec, mechanism, repetitions=repetitions, **config_overrides
+        )
+        for spec, mechanism in cells
+    ]
 
 
 def _shipping_payload(harness: Harness, specs) -> bytes:
@@ -128,18 +159,27 @@ def run_grid(
     specs: Sequence[WorkloadSpec],
     mechanisms: Sequence[str],
     jobs: Optional[int] = None,
+    chunk: Optional[int] = None,
     **config_overrides,
 ) -> Dict[Tuple[str, str], RunResult]:
     """Run a (workload × mechanism) grid, fanning misses out over
-    ``jobs`` worker processes.
+    ``jobs`` worker processes in chunks of ``chunk`` cells.
 
     Drop-in equivalent of the serial :meth:`Harness.grid` loop: same
     return shape, same numbers, and every computed cell lands in the
-    harness's caches.
+    harness's caches. ``jobs`` is clamped to the machine's core count
+    (:func:`resolve_jobs`). ``chunk`` is the number of cells dispatched
+    per worker task; the default ``pending // (4 * jobs)`` keeps about
+    four waves of tasks per worker — large enough to amortize dispatch,
+    small enough that one slow cell cannot idle the pool. On a
+    single-core machine, or when the uncached remainder is too small to
+    make a second worker task, the parent falls back to the plain
+    serial loop (no pool, no pickling).
     """
     specs = list(specs)
     mechanisms = list(mechanisms)
-    jobs = harness.jobs if jobs is None else max(1, jobs)
+    jobs = harness.jobs if jobs is None else jobs
+    jobs = resolve_jobs(jobs)
     repetitions = config_overrides.pop("repetitions", None)
 
     results: Dict[Tuple[str, str], RunResult] = {}
@@ -154,7 +194,16 @@ def run_grid(
             else:
                 pending.append((spec, mechanism))
 
-    if jobs <= 1 or len(pending) <= 1:
+    if chunk is None:
+        chunk = max(1, len(pending) // (4 * jobs))
+    else:
+        chunk = max(1, chunk)
+    chunks = [
+        pending[start:start + chunk]
+        for start in range(0, len(pending), chunk)
+    ]
+
+    if jobs <= 1 or len(chunks) <= 1:
         for spec, mechanism in pending:
             results[(spec.label, mechanism)] = harness.run(
                 spec, mechanism, repetitions=repetitions, **config_overrides
@@ -164,22 +213,22 @@ def run_grid(
     payload = _shipping_payload(
         harness, list(dict.fromkeys(spec for spec, _ in pending))
     )
-    workers = min(jobs, len(pending))
+    workers = min(jobs, len(chunks))
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_initialize,
         initargs=(payload,),
     ) as pool:
-        futures = {
-            (spec, mechanism): pool.submit(
-                _run_cell, spec, mechanism, repetitions, dict(config_overrides)
-            )
-            for spec, mechanism in pending
-        }
-        for (spec, mechanism), future in futures.items():
-            result = future.result()
-            results[(spec.label, mechanism)] = result
-            harness.store_run(
-                spec, mechanism, repetitions, config_overrides, result
-            )
+        futures = [
+            (cells, pool.submit(
+                _run_chunk, cells, repetitions, dict(config_overrides)
+            ))
+            for cells in chunks
+        ]
+        for cells, future in futures:
+            for (spec, mechanism), result in zip(cells, future.result()):
+                results[(spec.label, mechanism)] = result
+                harness.store_run(
+                    spec, mechanism, repetitions, config_overrides, result
+                )
     return results

@@ -154,7 +154,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repetitions", type=int, default=None)
     bench.add_argument("--jobs", type=int, default=None,
                        help="worker processes for grid cells "
-                       "(default: REPRO_PARALLEL, else serial)")
+                       "(default: REPRO_PARALLEL, else serial; "
+                       "clamped to the core count)")
+    bench.add_argument("--chunk", type=int, default=None,
+                       help="grid cells per worker task "
+                       "(default: auto)")
     bench.add_argument("--cache-dir", default=None,
                        help="persistent result cache "
                        "(default: REPRO_CACHE_DIR, else none)")
@@ -400,6 +404,8 @@ def _command_bench(args) -> int:
         argv += ["--repetitions", str(args.repetitions)]
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
+    if args.chunk is not None:
+        argv += ["--chunk", str(args.chunk)]
     if args.cache_dir is not None:
         argv += ["--cache-dir", args.cache_dir]
     if args.trace_dir is not None:

@@ -41,6 +41,11 @@ from repro.numerics import ordered_sum
 from repro.simcore.boards import BoardSpec
 from repro.simcore.hardware import CoreType, replication_factor
 
+try:  # numpy is optional here: the scalar path below is self-sufficient
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
 __all__ = ["CostModel", "CalibratedCurves", "calibrate_curves"]
 
 #: default safety factor applied to L_set when checking Eq 2
@@ -55,10 +60,24 @@ class CalibratedCurves:
     zeta: Dict[CoreType, FittedPiecewise]
 
 
+#: process-wide memo of fitted curves. The dry-run calibration depends
+#: only on (board, noise, seed) — every field that shapes it is in the
+#: board's repr — yet each workload context used to re-profile and
+#: re-fit the same curves from scratch, which dominated cold-start cost.
+#: Nothing mutates a :class:`CalibratedCurves` after construction
+#: (frozen dataclass of frozen fits), so sharing one instance across
+#: contexts/harnesses is safe.
+_CURVE_CACHE: Dict[Tuple[str, float, int], CalibratedCurves] = {}
+
+
 def calibrate_curves(
     board: BoardSpec, noise: float = 0.01, seed: int = 0
 ) -> CalibratedCurves:
     """Profile one core of each type and fit Eq 5's piecewise curves."""
+    key = (repr(board), noise, seed)
+    cached = _CURVE_CACHE.get(key)
+    if cached is not None:
+        return cached
     eta: Dict[CoreType, FittedPiecewise] = {}
     zeta: Dict[CoreType, FittedPiecewise] = {}
     for core_type in CoreType:
@@ -68,7 +87,95 @@ def calibrate_curves(
         samples = profile_roofline(cores[0], noise=noise, seed=seed)
         eta[core_type] = fit_piecewise(samples.kappas, samples.eta_values)
         zeta[core_type] = fit_piecewise(samples.kappas, samples.zeta_values)
-    return CalibratedCurves(eta=eta, zeta=zeta)
+    if len(_CURVE_CACHE) >= 64:  # bound the memo on exotic board sweeps
+        _CURVE_CACHE.clear()
+    result = CalibratedCurves(eta=eta, zeta=zeta)
+    _CURVE_CACHE[key] = result
+    return result
+
+
+class _CostTables:
+    """Precomputed per-(stage, core) lookup tables for one cost model.
+
+    Every value is produced by the model's own scalar helpers
+    (``_eta``/``_zeta``, ``stage_kappa``, the communication table), so a
+    table lookup returns the *same float object chain* the scalar path
+    would compute — the fast path changes where numbers are read from,
+    never how they are made. ``stamp`` snapshots the mutable inputs
+    (``kappa_scale``, ``frequency_map``); :meth:`CostModel._tables`
+    rebuilds when the PID controller drifts them. ``latency_scale`` is a
+    direct multiplier applied at evaluation time, so it stays live-read
+    and never invalidates tables.
+    """
+
+    __slots__ = (
+        "stamp", "kappas", "instructions", "output_bytes",
+        "eta", "zeta", "eta_rows", "zeta_rows",
+        "comm_unit", "comm_overhead", "comm_energy",
+        "_replication_latency", "_replication_energy",
+        "_latency_overhead", "_energy_overhead",
+    )
+
+    def __init__(self, model: "CostModel", stamp: Tuple) -> None:
+        self.stamp = stamp
+        board = model.board
+        core_ids = sorted(board.core_by_id)
+        size = max(core_ids) + 1
+        stage_count = len(model._stage_costs)
+        self.kappas = [model.stage_kappa(s) for s in range(stage_count)]
+        self.instructions = [
+            model.stage_instructions(s) for s in range(stage_count)
+        ]
+        self.output_bytes = [
+            model.stage_output_bytes(s) for s in range(stage_count)
+        ]
+        self.eta = []
+        self.zeta = []
+        for stage in range(stage_count):
+            kappa = self.kappas[stage]
+            eta_row = [0.0] * size
+            zeta_row = [0.0] * size
+            for core_id in core_ids:
+                eta_row[core_id] = model._eta(kappa, core_id)
+                zeta_row[core_id] = model._zeta(kappa, core_id)
+            self.eta.append(eta_row)
+            self.zeta.append(zeta_row)
+        self.eta_rows = [_np.array(row) for row in self.eta]
+        self.zeta_rows = [_np.array(row) for row in self.zeta]
+        communication = model.communication
+        self.comm_unit = [[0.0] * size for _ in range(size)]
+        self.comm_overhead = [[0.0] * size for _ in range(size)]
+        self.comm_energy = [[0.0] * size for _ in range(size)]
+        for producer in core_ids:
+            for consumer in core_ids:
+                path = board.path_between(producer, consumer)
+                self.comm_unit[producer][consumer] = (
+                    communication.unit_cost(path)
+                )
+                self.comm_overhead[producer][consumer] = (
+                    communication.overhead(path)
+                )
+                self.comm_energy[producer][consumer] = (
+                    communication.energy(path)
+                )
+        self._replication_latency: Dict[int, float] = {}
+        self._replication_energy: Dict[int, float] = {}
+        self._latency_overhead = board.replication_latency_overhead
+        self._energy_overhead = board.replication_energy_overhead
+
+    def replication_latency(self, replicas: int) -> float:
+        factor = self._replication_latency.get(replicas)
+        if factor is None:
+            factor = replication_factor(self._latency_overhead, replicas)
+            self._replication_latency[replicas] = factor
+        return factor
+
+    def replication_energy(self, replicas: int) -> float:
+        factor = self._replication_energy.get(replicas)
+        if factor is None:
+            factor = replication_factor(self._energy_overhead, replicas)
+            self._replication_energy[replicas] = factor
+        return factor
 
 
 @dataclass
@@ -158,38 +265,72 @@ class CostModel:
             return base
         return base * core.zeta_at(kappa, frequency) / core.zeta_at(kappa, None)
 
+    def _tables(self) -> Optional[_CostTables]:
+        """The precomputed lookup tables, rebuilt on κ/frequency drift.
+
+        Returns ``None`` without numpy, putting every entry point on the
+        original scalar path. The stamp check is cheap in the common
+        case (no adaptive drift, no static frequency map: two empty
+        snapshots), so branch-and-bound search — which calls
+        :meth:`compute_latency`/:meth:`task_energy` thousands of times
+        per plan — pays one dict/tuple compare per call instead of a
+        piecewise-curve walk.
+        """
+        if _np is None:
+            return None
+        stamp = (
+            ()
+            if not self.kappa_scale
+            else tuple(sorted(self.kappa_scale.items())),
+            None
+            if self.frequency_map is None
+            else tuple(sorted(self.frequency_map.items())),
+        )
+        tables = getattr(self, "_table_cache", None)
+        if tables is not None and tables.stamp == stamp:
+            return tables
+        tables = _CostTables(self, stamp)
+        self._table_cache = tables
+        return tables
+
     # -- per-task estimates (Eqs 4, 6, 7) -----------------------------------
 
     def compute_latency(
         self, stage_index: int, core_id: int, replicas: int = 1
     ) -> float:
         """l_comp of one replica, µs per byte of batch (Eq 6)."""
-        kappa = self.stage_kappa(stage_index)
-        instructions = self.stage_instructions(stage_index) / replicas
-        overhead = replication_factor(
-            self.board.replication_latency_overhead, replicas
-        )
+        tables = self._tables()
+        if tables is None:
+            kappa = self.stage_kappa(stage_index)
+            eta = self._eta(kappa, core_id)
+            instructions = self.stage_instructions(stage_index) / replicas
+            overhead = replication_factor(
+                self.board.replication_latency_overhead, replicas
+            )
+        else:
+            eta = tables.eta[stage_index][core_id]
+            instructions = tables.instructions[stage_index] / replicas
+            overhead = tables.replication_latency(replicas)
         scale = self.latency_scale.get(stage_index, 1.0)
-        return (
-            scale * instructions * overhead
-            / self._eta(kappa, core_id)
-            / self._batch_bytes
-        )
+        return scale * instructions * overhead / eta / self._batch_bytes
 
     def task_energy(
         self, stage_index: int, core_id: int, replicas: int = 1
     ) -> float:
         """e of one replica, µJ per byte of batch (Eq 4)."""
-        kappa = self.stage_kappa(stage_index)
-        instructions = self.stage_instructions(stage_index) / replicas
-        overhead = replication_factor(
-            self.board.replication_energy_overhead, replicas
-        )
-        return (
-            instructions * overhead
-            / self._zeta(kappa, core_id)
-            / self._batch_bytes
-        )
+        tables = self._tables()
+        if tables is None:
+            kappa = self.stage_kappa(stage_index)
+            zeta = self._zeta(kappa, core_id)
+            instructions = self.stage_instructions(stage_index) / replicas
+            overhead = replication_factor(
+                self.board.replication_energy_overhead, replicas
+            )
+        else:
+            zeta = tables.zeta[stage_index][core_id]
+            instructions = tables.instructions[stage_index] / replicas
+            overhead = tables.replication_energy(replicas)
+        return instructions * overhead / zeta / self._batch_bytes
 
     def communication_latency(
         self,
@@ -206,13 +347,21 @@ class CostModel:
         """
         if stage_index == 0 or not self.communication_aware:
             return 0.0
+        tables = self._tables()
         upstream_bytes = self.stage_output_bytes(stage_index - 1)
         share = upstream_bytes / replicas / len(upstream_cores)
         total_us = 0.0
-        for producer_core in upstream_cores:
-            path = self.board.path_between(producer_core, core_id)
-            total_us += share * self.communication.unit_cost(path)
-            total_us += self.communication.overhead(path)
+        if tables is None:
+            for producer_core in upstream_cores:
+                path = self.board.path_between(producer_core, core_id)
+                total_us += share * self.communication.unit_cost(path)
+                total_us += self.communication.overhead(path)
+        else:
+            unit = tables.comm_unit
+            overhead = tables.comm_overhead
+            for producer_core in upstream_cores:
+                total_us += share * unit[producer_core][core_id]
+                total_us += overhead[producer_core][core_id]
         return total_us / self._batch_bytes
 
     def communication_energy(
@@ -230,18 +379,113 @@ class CostModel:
         """
         if stage_index == 0 or not self.communication_aware:
             return 0.0
+        tables = self._tables()
         total_uj = 0.0
-        for producer_core in upstream_cores:
-            path = self.board.path_between(producer_core, core_id)
-            total_uj += self.communication.energy(path)
+        if tables is None:
+            for producer_core in upstream_cores:
+                path = self.board.path_between(producer_core, core_id)
+                total_uj += self.communication.energy(path)
+        else:
+            energy = tables.comm_energy
+            for producer_core in upstream_cores:
+                total_uj += energy[producer_core][core_id]
         return total_uj / self._batch_bytes
 
     # -- plan evaluation (Eqs 1-3) -------------------------------------------
 
     def evaluate(self, plan: SchedulingPlan) -> PlanEstimate:
-        """Predict L_est, E_est and feasibility of a plan."""
+        """Predict L_est, E_est and feasibility of a plan.
+
+        With numpy available this assembles per-stage l_comp/e arrays in
+        a handful of elementwise ops over the precomputed η/ζ tables;
+        every operation keeps the scalar path's operand order and
+        parenthesization (elementwise numpy arithmetic on float64 is
+        IEEE-754 identical to the equivalent scalar expression), and the
+        plan-level reductions stay Python left folds — ``ordered_sum``
+        for E_est, producer-ordered loops for Eq 7 — so the result is
+        bit-for-bit the scalar path's (``tests/test_golden_identity``).
+        """
         if plan.graph is not self.graph and plan.graph != self.graph:
             raise ConfigurationError("plan was built for a different task graph")
+        tables = self._tables()
+        if tables is None:
+            return self._evaluate_scalar(plan)
+
+        batch = self._batch_bytes
+        estimates = []
+        core_load: Dict[int, float] = {}
+        for stage_index, cores in enumerate(plan.assignments):
+            replicas = len(cores)
+            columns = list(cores)
+            instructions = tables.instructions[stage_index] / replicas
+            scale = self.latency_scale.get(stage_index, 1.0)
+            latency_numerator = (
+                scale * instructions * tables.replication_latency(replicas)
+            )
+            energy_numerator = (
+                instructions * tables.replication_energy(replicas)
+            )
+            l_comp_values = (
+                latency_numerator / tables.eta_rows[stage_index][columns]
+                / batch
+            ).tolist()
+            e_comp_values = (
+                energy_numerator / tables.zeta_rows[stage_index][columns]
+                / batch
+            ).tolist()
+
+            if stage_index == 0 or not self.communication_aware:
+                l_comm_values = [0.0] * replicas
+                e_comm_values = [0.0] * replicas
+            else:
+                upstream_cores = plan.assignments[stage_index - 1]
+                share = (
+                    tables.output_bytes[stage_index - 1]
+                    / replicas
+                    / len(upstream_cores)
+                )
+                unit = tables.comm_unit
+                overhead = tables.comm_overhead
+                comm_energy = tables.comm_energy
+                l_comm_values = []
+                e_comm_values = []
+                for core_id in cores:
+                    total_us = 0.0
+                    total_uj = 0.0
+                    for producer_core in upstream_cores:
+                        total_us += share * unit[producer_core][core_id]
+                        total_us += overhead[producer_core][core_id]
+                        total_uj += comm_energy[producer_core][core_id]
+                    l_comm_values.append(total_us / batch)
+                    e_comm_values.append(total_uj / batch)
+
+            kappa = tables.kappas[stage_index]
+            for replica_index, core_id in enumerate(cores):
+                l_comp = l_comp_values[replica_index]
+                estimates.append(
+                    TaskEstimate(
+                        stage_index=stage_index,
+                        replica_index=replica_index,
+                        core_id=core_id,
+                        kappa=kappa,
+                        l_comp_us_per_byte=l_comp,
+                        l_comm_us_per_byte=l_comm_values[replica_index],
+                        energy_uj_per_byte=(
+                            e_comp_values[replica_index]
+                            + e_comm_values[replica_index]
+                        ),
+                    )
+                )
+                core_load[core_id] = core_load.get(core_id, 0.0) + l_comp
+        return self._finish_estimate(plan, estimates, core_load)
+
+    def _evaluate_scalar(self, plan: SchedulingPlan) -> PlanEstimate:
+        """Reference implementation: one scalar call chain per replica.
+
+        This is the pre-vectorization code path, kept both as the
+        numpy-free fallback and as the oracle the parity tests compare
+        the fast path against.
+        """
         estimates = []
         core_load: Dict[int, float] = {}
         for stage_index, cores in enumerate(plan.assignments):
@@ -271,7 +515,11 @@ class CostModel:
                     )
                 )
                 core_load[core_id] = core_load.get(core_id, 0.0) + l_comp
+        return self._finish_estimate(plan, estimates, core_load)
 
+    def _finish_estimate(
+        self, plan: SchedulingPlan, estimates, core_load: Dict[int, float]
+    ) -> PlanEstimate:
         bottleneck_task = max(est.l_us_per_byte for est in estimates)
         bottleneck_core = max(core_load.values())
         latency = max(bottleneck_task, bottleneck_core)

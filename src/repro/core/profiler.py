@@ -214,6 +214,13 @@ class CommunicationTable:
         return self.message_energy_uj[path]
 
 
+#: process-wide memo, same contract as the curve cache in
+#: :mod:`repro.core.cost_model`: the measurement depends only on
+#: (board, noise, seed) and nothing mutates a returned table, so every
+#: workload context on the same board shares one instance.
+_COMMUNICATION_CACHE: Dict[Tuple[str, float, int], "CommunicationTable"] = {}
+
+
 def measure_communication(
     board: BoardSpec, noise: float = 0.02, seed: int = 0
 ) -> CommunicationTable:
@@ -223,6 +230,10 @@ def measure_communication(
     pinning a producer thread on one core and a consumer on the other;
     with symmetric cores this reduces to one measurement per path class.
     """
+    cache_key = (repr(board), noise, seed)
+    cached = _COMMUNICATION_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
     rng = np.random.default_rng(seed)
     unit: Dict[Path, float] = {}
     overhead: Dict[Path, float] = {}
@@ -232,8 +243,12 @@ def measure_communication(
         unit[path] = cost.unit_cost_us_per_byte * float(rng.normal(1.0, noise))
         overhead[path] = cost.message_overhead_us * float(rng.normal(1.0, noise))
         energy[path] = cost.message_energy_uj * float(rng.normal(1.0, noise))
-    return CommunicationTable(
+    if len(_COMMUNICATION_CACHE) >= 64:
+        _COMMUNICATION_CACHE.clear()
+    table = CommunicationTable(
         unit_cost_us_per_byte=unit,
         message_overhead_us=overhead,
         message_energy_uj=energy,
     )
+    _COMMUNICATION_CACHE[cache_key] = table
+    return table

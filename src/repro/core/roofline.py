@@ -66,33 +66,42 @@ class FittedPiecewise:
 
 
 def _line_fit_errors(x: np.ndarray, y: np.ndarray) -> np.ndarray:
-    """err[i, j] = SSE of the least-squares line through points i..j."""
+    """err[i, j] = SSE of the least-squares line through points i..j.
+
+    Row-vectorized, bit-identical to the incremental scalar version it
+    replaced: ``np.add.accumulate`` is a *sequential* left fold
+    (``out[k] = out[k-1] + in[k]``, no pairwise tree), so every running
+    moment equals the scalar ``s += term`` accumulation exactly, and the
+    per-cell slope/intercept/SSE formulas keep the same parenthesization.
+    Degenerate cells (single point, vertical run) divide by a dummy 1.0
+    and are masked to the scalar branch's 0.0.
+    """
     n = len(x)
     err = np.zeros((n, n))
+    xx = x * x
+    xy = x * y
+    yy = y * y
     for i in range(n):
-        sx = sy = sxx = sxy = syy = 0.0
-        for j in range(i, n):
-            sx += x[j]
-            sy += y[j]
-            sxx += x[j] * x[j]
-            sxy += x[j] * y[j]
-            syy += y[j] * y[j]
-            count = j - i + 1
-            denominator = count * sxx - sx * sx
-            if count < 2 or abs(denominator) < 1e-12:
-                err[i, j] = 0.0
-                continue
-            slope = (count * sxy - sx * sy) / denominator
-            intercept = (sy - slope * sx) / count
-            sse = (
-                syy
-                - 2 * slope * sxy
-                - 2 * intercept * sy
-                + slope * slope * sxx
-                + 2 * slope * intercept * sx
-                + count * intercept * intercept
-            )
-            err[i, j] = max(sse, 0.0)
+        sx = np.add.accumulate(x[i:])
+        sy = np.add.accumulate(y[i:])
+        sxx = np.add.accumulate(xx[i:])
+        sxy = np.add.accumulate(xy[i:])
+        syy = np.add.accumulate(yy[i:])
+        count = np.arange(1, n - i + 1, dtype=float)
+        denominator = count * sxx - sx * sx
+        degenerate = (count < 2) | (np.abs(denominator) < 1e-12)
+        safe = np.where(degenerate, 1.0, denominator)
+        slope = (count * sxy - sx * sy) / safe
+        intercept = (sy - slope * sx) / count
+        sse = (
+            syy
+            - 2 * slope * sxy
+            - 2 * intercept * sy
+            + slope * slope * sxx
+            + 2 * slope * intercept * sx
+            + count * intercept * intercept
+        )
+        err[i, i:] = np.where(degenerate, 0.0, np.maximum(sse, 0.0))
     return err
 
 
@@ -137,14 +146,15 @@ def fit_piecewise(
     choice = np.zeros((segments, n), dtype=int)
     dp[0, :] = err[0, :]
     for s in range(1, segments):
-        for j in range(n):
-            best, best_i = infinity, 0
-            for i in range(s, j + 1):
-                candidate = dp[s - 1, i - 1] + err[i, j]
-                if candidate < best:
-                    best, best_i = candidate, i
-            dp[s, j] = best
-            choice[s, j] = best_i
+        # Vectorized split search. np.argmin returns the *first* minimum,
+        # matching the scalar loop's strict-< update rule, so tie-breaks
+        # (and therefore the reconstructed boundaries) are unchanged.
+        prev = dp[s - 1]
+        for j in range(s, n):
+            candidates = prev[s - 1:j] + err[s:j + 1, j]
+            best_index = int(np.argmin(candidates))
+            dp[s, j] = candidates[best_index]
+            choice[s, j] = s + best_index
 
     # Reconstruct segment starts.
     starts = []

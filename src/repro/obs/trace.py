@@ -84,7 +84,15 @@ class TraceRecorder:
         #: also record engine-level process resume/end instants (noisy;
         #: off by default, ``cstream trace --process-events`` turns it on)
         self.process_events = process_events
-        self.events: List[TraceEvent] = []
+        # Batched dispatch: hooks append one raw tuple (pid captured at
+        # emit time) to ``_pending``; :attr:`events` materializes the
+        # frozen TraceEvent dataclasses on first read. Constructing a
+        # dataclass per event inside the DES hot loop cost more than the
+        # hooks' own bookkeeping; the flushed stream is field-for-field
+        # the stream eager construction produced. Counters stay eager —
+        # hooks read them back mid-run (cumulative counter events).
+        self._events: List[TraceEvent] = []
+        self._pending: List[tuple] = []
         self.repetition = 0
         # aggregate counters (the raw material of TraceSummary)
         self.repetitions_seen = 0
@@ -138,18 +146,42 @@ class TraceRecorder:
         category: str = "sim",
         **args: Any,
     ) -> None:
-        self.events.append(
-            TraceEvent(
-                name=name,
-                phase=phase,
-                ts_us=ts_us,
-                pid=self.repetition,
-                tid=tid,
-                dur_us=dur_us,
-                category=category,
-                args=tuple(sorted(args.items())),
+        self._pending.append(
+            (
+                name,
+                phase,
+                ts_us,
+                self.repetition,
+                tid,
+                dur_us,
+                category,
+                tuple(sorted(args.items())),
             )
         )
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if pending:
+            self._events.extend(
+                TraceEvent(
+                    name=raw[0],
+                    phase=raw[1],
+                    ts_us=raw[2],
+                    pid=raw[3],
+                    tid=raw[4],
+                    dur_us=raw[5],
+                    category=raw[6],
+                    args=raw[7],
+                )
+                for raw in pending
+            )
+            pending.clear()
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The recorded stream, in emission order (flushes the buffer)."""
+        self._flush()
+        return self._events
 
     # -- executor / engine hooks --------------------------------------------
 
@@ -373,7 +405,7 @@ class TraceRecorder:
             queue_highwater=tuple(sorted(self.queue_highwater.items())),
             energy_busy_uj=self.energy_busy_uj,
             energy_overhead_uj=self.energy_overhead_uj,
-            event_count=len(self.events),
+            event_count=len(self._events) + len(self._pending),
             scheduler=tuple(scheduler),
         )
 

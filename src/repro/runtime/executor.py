@@ -32,7 +32,9 @@ byte-identical to an untraced run's (tests assert this).
 
 from __future__ import annotations
 
+import gc
 import warnings
+from collections import deque
 from dataclasses import dataclass, replace
 from typing import (
     Callable,
@@ -188,7 +190,22 @@ class MechanismDynamics:
 
 
 class _CoreServer:
-    """FIFO work server for one core inside a repetition's DES."""
+    """FIFO work server for one core inside a repetition's DES.
+
+    Two implementations share one calendar ordering (see DESIGN.md
+    "Performance engineering"):
+
+    * **traced** — the original generator process pulling from a named
+      :class:`Store`, so the trace keeps its ``coreN.runq`` queue-depth
+      events;
+    * **untraced** — a callback chain on the same calendar positions.
+      The store's put event fired with no observers and the getter
+      event was created back-to-back with it inside one callback, so
+      replacing the pair with a single "kick" event (and the generator
+      resumes with plain callbacks) removes no observable ordering:
+      every remaining event lands in the same bucket slot relative to
+      every foreign event.
+    """
 
     def __init__(
         self,
@@ -205,10 +222,6 @@ class _CoreServer:
         self.meter = meter
         self.switch_instructions = switch_instructions
         self.trace = trace
-        self.requests = Store(
-            simulator,
-            name=f"core{core_spec.core_id}.runq" if trace is not None else None,
-        )
         self.busy_us = 0.0
         self.energy_by_batch: Dict[int, float] = {}
         self.spans: List = []  # (task_name, batch, start_us, end_us)
@@ -216,7 +229,20 @@ class _CoreServer:
         self.failed = False
         self.failover: Optional["_CoreServer"] = None
         self.forward_penalty = 1.0
-        simulator.process(self._serve(), name=f"core{core_spec.core_id}")
+        # (frequency -> (switch_us, switch_energy)) — η/power lookups
+        # for the fixed switch κ leave the hot path; DVFS refills.
+        self._switch_costs: Dict[float, tuple] = {}
+        if trace is not None:
+            self.requests = Store(
+                simulator, name=f"core{core_spec.core_id}.runq"
+            )
+            simulator.process(self._serve(), name=f"core{core_spec.core_id}")
+        else:
+            self.requests = None
+            self._queue = deque()
+            self._idle = True
+            self._current = None
+            self._start_us = 0.0
 
     def fail(self, failover: "_CoreServer", penalty: float) -> None:
         """Mark the core permanently dead.
@@ -240,15 +266,115 @@ class _CoreServer:
         energy_uj: float,
     ):
         """Queue ``duration_us`` of occupancy drawing ``energy_uj``."""
-        done = self.simulator.event()
-        self.requests.put(
-            (task_name, batch_index, duration_us, energy_uj, done)
-        )
+        done = self.simulator.event(transient=True)
+        item = (task_name, batch_index, duration_us, energy_uj, done)
+        if self.requests is not None:
+            self.requests.put(item, transient=True)
+            return done
+        self._queue.append(item)
+        if self._idle:
+            self._idle = False
+            kick = self.simulator._internal_event()
+            kick.callbacks.append(self._begin)
+            kick.succeed(None)
         return done
 
+    # -- untraced callback chain ------------------------------------------
+
+    def _begin(self, _event) -> None:
+        item = self._queue.popleft()
+        task_name, batch_index, duration, energy_uj, done = item
+        if self.failed:
+            target = self.failover
+            scale = (
+                self.core.eta_at(_SWITCH_KAPPA, self.frequency_mhz)
+                / target.core.eta_at(_SWITCH_KAPPA, target.frequency_mhz)
+            ) * self.forward_penalty
+            forwarded = target.submit(
+                task_name, batch_index, duration * scale, energy_uj * scale
+            )
+            forwarded.callbacks.append(
+                lambda _e, waiter=done: waiter.succeed(None)
+            )
+            self._next()
+            return
+        if self._last_task is not None and self._last_task != task_name:
+            frequency = self.frequency_mhz
+            cached = self._switch_costs.get(frequency)
+            if cached is None:
+                switch_us = self.switch_instructions / self.core.eta_at(
+                    _SWITCH_KAPPA, frequency
+                )
+                cached = (
+                    switch_us,
+                    switch_us
+                    * self.core.busy_power_w(_SWITCH_KAPPA, frequency),
+                )
+                self._switch_costs[frequency] = cached
+            self.meter.record_overhead(cached[1])
+            self.busy_us += cached[0]
+            self._current = item
+            pause = self.simulator.timeout(cached[0], transient=True)
+            pause.callbacks.append(self._after_switch)
+            return
+        self._start(item)
+
+    def _after_switch(self, _event) -> None:
+        self._start(self._current)
+
+    def _start(self, item) -> None:
+        self._last_task = item[0]
+        self._current = item
+        self._start_us = self.simulator.now
+        work = self.simulator.timeout(item[2], transient=True)
+        work.callbacks.append(self._complete)
+
+    def _complete(self, _event) -> None:
+        task_name, batch_index, duration, energy_uj, done = self._current
+        start = self._start_us
+        self.spans.append(
+            (task_name, batch_index, start, self.simulator.now)
+        )
+        mean_power = energy_uj / duration if duration > 0 else 0.0
+        energy = self.meter.record_busy(
+            self.core.core_id, start, duration, mean_power
+        )
+        self.busy_us += duration
+        energy_by_batch = self.energy_by_batch
+        energy_by_batch[batch_index] = (
+            energy_by_batch.get(batch_index, 0.0) + energy
+        )
+        done.succeed(None)
+        self._next()
+
+    def _next(self) -> None:
+        if self._queue:
+            kick = self.simulator._internal_event()
+            kick.callbacks.append(self._begin)
+            kick.succeed(None)
+        else:
+            self._idle = True
+
+    # -- traced generator server ------------------------------------------
+
     def _serve(self):
+        # Localized once for the server's lifetime: simulator, stores,
+        # meter, core and trace never change (frequency does — it is the
+        # one attribute the loop re-reads every iteration).
+        simulator = self.simulator
+        timeout = simulator.timeout
+        requests_get = self.requests.get
+        core = self.core
+        core_id = core.core_id
+        meter = self.meter
+        trace = self.trace
+        spans = self.spans
+        energy_by_batch = self.energy_by_batch
+        # (frequency -> (switch_us, switch_energy)) — η/power lookups for
+        # the fixed switch κ leave the loop; frequency changes re-fill.
+        switch_costs = {}
         while True:
-            item = yield self.requests.get()
+            item = yield requests_get(transient=True)
             task_name, batch_index, duration, energy_uj, done = item
             if self.failed:
                 # The dead core's in-flight batch is lost; re-enqueue it
@@ -257,7 +383,7 @@ class _CoreServer:
                 # on this core.
                 target = self.failover
                 scale = (
-                    self.core.eta_at(_SWITCH_KAPPA, self.frequency_mhz)
+                    core.eta_at(_SWITCH_KAPPA, self.frequency_mhz)
                     / target.core.eta_at(
                         _SWITCH_KAPPA, target.frequency_mhz
                     )
@@ -271,38 +397,38 @@ class _CoreServer:
                 )
                 continue
             if self._last_task is not None and self._last_task != task_name:
-                switch_us = self.switch_instructions / self.core.eta_at(
-                    _SWITCH_KAPPA, self.frequency_mhz
-                )
-                switch_energy = switch_us * self.core.busy_power_w(
-                    _SWITCH_KAPPA, self.frequency_mhz
-                )
-                self.meter.record_overhead(switch_energy)
+                frequency = self.frequency_mhz
+                cached_switch = switch_costs.get(frequency)
+                if cached_switch is None:
+                    switch_us = self.switch_instructions / core.eta_at(
+                        _SWITCH_KAPPA, frequency
+                    )
+                    cached_switch = (
+                        switch_us,
+                        switch_us * core.busy_power_w(_SWITCH_KAPPA, frequency),
+                    )
+                    switch_costs[frequency] = cached_switch
+                switch_us = cached_switch[0]
+                meter.record_overhead(cached_switch[1])
                 self.busy_us += switch_us
-                yield self.simulator.timeout(switch_us)
-                if self.trace is not None:
-                    self.trace.context_switch(
-                        self.core.core_id, 1.0, self.simulator.now,
+                yield timeout(switch_us)
+                if trace is not None:
+                    trace.context_switch(
+                        core_id, 1.0, simulator.now,
                         duration_us=switch_us,
                     )
             self._last_task = task_name
-            start = self.simulator.now
-            yield self.simulator.timeout(duration)
-            self.spans.append(
-                (task_name, batch_index, start, self.simulator.now)
-            )
-            if self.trace is not None:
-                self.trace.span(
-                    task_name, self.core.core_id, start, self.simulator.now,
-                    batch=batch_index,
-                )
+            start = simulator.now
+            yield timeout(duration)
+            end = simulator.now
+            spans.append((task_name, batch_index, start, end))
+            if trace is not None:
+                trace.span(task_name, core_id, start, end, batch=batch_index)
             mean_power = energy_uj / duration if duration > 0 else 0.0
-            energy = self.meter.record_busy(
-                self.core.core_id, start, duration, mean_power
-            )
+            energy = meter.record_busy(core_id, start, duration, mean_power)
             self.busy_us += duration
-            self.energy_by_batch[batch_index] = (
-                self.energy_by_batch.get(batch_index, 0.0) + energy
+            energy_by_batch[batch_index] = (
+                energy_by_batch.get(batch_index, 0.0) + energy
             )
             done.succeed(None)
 
@@ -432,11 +558,26 @@ class _RepetitionRun:
         self.reroute_penalty = 0.0
         self.fired_faults: List[FiredFault] = []
 
-        # Per-batch merged stage costs (global batch indices).
-        self.stage_costs: List[List[StepCost]] = [
-            [task.merged_cost(costs) for task in graph.tasks]
-            for costs in per_batch_step_costs
-        ]
+        # Per-batch merged stage costs (global batch indices). A pure
+        # function of (graph, step costs), both of which every
+        # repetition of one measurement shares — so the merged rows are
+        # memoized on the executor (identity-keyed; the rows are never
+        # mutated) instead of being rebuilt 60 times per cell.
+        memo = executor._stage_costs_memo
+        if (
+            memo is not None
+            and memo[0] is graph
+            and memo[1] is per_batch_step_costs
+        ):
+            self.stage_costs: List[List[StepCost]] = memo[2]
+        else:
+            self.stage_costs = [
+                [task.merged_cost(costs) for task in graph.tasks]
+                for costs in per_batch_step_costs
+            ]
+            executor._stage_costs_memo = (
+                graph, per_batch_step_costs, self.stage_costs
+            )
 
         self.simulator = Simulator(trace=self.trace)
         self.meter = EnergyMeter(
@@ -684,6 +825,33 @@ class _RepetitionRun:
                     replicas - 1
                 )
             inboxes = stage_inputs[stage_index][replica_index]
+            # Everything below is constant across the task's batch loop —
+            # hoisted so the per-batch body (the simulator's hottest
+            # Python) only computes what actually varies. The hoisted
+            # floats are the same expressions evaluated once, so every
+            # simulated number is bit-identical.
+            sigma = config.noise_sigma + dynamics.latency_jitter_sigma
+            draw_noise = sigma > 0
+            rng_lognormal = rng.lognormal
+            rng_random = rng.random
+            record_overhead = meter.record_overhead
+            migration_rate = dynamics.migration_rate_per_batch
+            has_migration = migration_rate > 0.0
+            extra_switches = (
+                (batch_bytes / replicas) / 1024.0
+                * dynamics.context_switches_per_kb
+            )
+            has_switches = extra_switches > 0.0
+            task_label = f"s{stage_index}r{replica_index}"
+            lock = stage_locks.get(stage_index)
+            is_last_stage = stage_index == last_stage
+            if not is_last_stage:
+                consumer_count = plan.replicas(stage_index + 1)
+                consumer_inboxes = stage_inputs[stage_index + 1]
+            # switch_us and its overhead energy depend only on the routed
+            # core and its (governor-adjustable) frequency — memoized per
+            # (core, frequency) so the η/power lookups leave the loop.
+            switch_costs = {}
             for batch_index in range(batch_start, batch_start + batch_count):
                 # Planned placement, resolved through the failure map. On
                 # a healthy run failed_cores is empty and this is the
@@ -693,28 +861,27 @@ class _RepetitionRun:
                     routed_core = self.route_core(core_id)
                 server = servers[routed_core]
                 if stage_index == 0:
-                    yield inboxes[0].get()  # source token
+                    yield inboxes[0].get(transient=True)  # source token
                 else:
                     comm_us = 0.0
                     for inbox in inboxes:
-                        token = yield inbox.get()
+                        token = yield inbox.get(transient=True)
                         producer_core, transfer_bytes = token[1], token[2]
                         path = board.path_between(producer_core, routed_core)
                         comm_us += self.interconnect.transfer_latency_us(
                             path, transfer_bytes
                         )
-                        meter.record_overhead(
+                        record_overhead(
                             self.interconnect.message_energy(path)
                         )
                     if comm_us > 0.0:
-                        yield simulator.timeout(comm_us)
+                        yield simulator.timeout(comm_us, transient=True)
                 cost = stage_costs[batch_index][stage_index]
                 kappa = cost.operational_intensity
                 instructions = cost.instructions / replicas
                 eta = server.core.eta_at(kappa, server.frequency_mhz)
                 power = server.core.busy_power_w(kappa, server.frequency_mhz)
-                sigma = config.noise_sigma + dynamics.latency_jitter_sigma
-                noise = float(rng.lognormal(0.0, sigma)) if sigma > 0 else 1.0
+                noise = float(rng_lognormal(0.0, sigma)) if draw_noise else 1.0
                 base_duration = instructions / eta * noise
                 duration = base_duration * lock_factor * lat_overhead
                 energy_uj = (
@@ -725,51 +892,52 @@ class _RepetitionRun:
                     # and doubled-up queues until the controller replans.
                     duration *= 1.0 + self.reroute_penalty
                     energy_uj *= 1.0 + self.reroute_penalty
-                if dynamics.migration_rate_per_batch > 0.0 and (
-                    rng.random() < dynamics.migration_rate_per_batch
-                ):
+                if has_migration and rng_random() < migration_rate:
                     duration *= 1.0 + dynamics.migration_latency_fraction
-                    meter.record_overhead(
+                    record_overhead(
                         base_duration
                         * dynamics.migration_latency_fraction
                         * power
                     )
                     if trace is not None:
                         trace.migration(routed_core, simulator.now)
-                extra_switches = (
-                    (batch_bytes / replicas) / 1024.0
-                    * dynamics.context_switches_per_kb
-                )
-                if extra_switches > 0.0:
-                    switch_us = (
-                        extra_switches
-                        * board.context_switch_instructions
-                        / server.core.eta_at(_SWITCH_KAPPA, server.frequency_mhz)
-                    )
-                    duration += switch_us
-                    meter.record_overhead(
-                        switch_us
-                        * server.core.busy_power_w(
-                            _SWITCH_KAPPA, server.frequency_mhz
+                if has_switches:
+                    switch_key = (routed_core, server.frequency_mhz)
+                    cached_switch = switch_costs.get(switch_key)
+                    if cached_switch is None:
+                        switch_us = (
+                            extra_switches
+                            * board.context_switch_instructions
+                            / server.core.eta_at(
+                                _SWITCH_KAPPA, server.frequency_mhz
+                            )
                         )
-                    )
+                        cached_switch = (
+                            switch_us,
+                            switch_us
+                            * server.core.busy_power_w(
+                                _SWITCH_KAPPA, server.frequency_mhz
+                            ),
+                        )
+                        switch_costs[switch_key] = cached_switch
+                    duration += cached_switch[0]
+                    record_overhead(cached_switch[1])
                     if trace is not None:
                         trace.context_switch(
                             routed_core, extra_switches, simulator.now
                         )
                 duration += pending_stall.pop(routed_core, 0.0)
-                lock = stage_locks.get(stage_index)
                 if lock is not None:
-                    token = yield lock.get()
+                    token = yield lock.get(transient=True)
                 yield server.submit(
-                    f"s{stage_index}r{replica_index}",
+                    task_label,
                     batch_index,
                     duration,
                     energy_uj,
                 )
                 if lock is not None:
-                    yield lock.put(token)
-                if stage_index == last_stage:
+                    yield lock.put(token, transient=True)
+                if is_last_stage:
                     final_tokens[batch_index] = (
                         final_tokens.get(batch_index, 0) + 1
                     )
@@ -810,25 +978,29 @@ class _RepetitionRun:
                                         simulator.now,
                                         backoff_us=backoff,
                                     )
-                                yield simulator.timeout(duration + backoff)
+                                yield simulator.timeout(
+                                    duration + backoff, transient=True
+                                )
                                 meter.record_overhead(energy_uj)
                         completions[batch_index] = simulator.now
                         if trace is not None:
                             trace.batch_complete(batch_index, simulator.now)
                         self.on_batch_complete()
                 else:
-                    consumer_count = plan.replicas(stage_index + 1)
                     share = cost.output_bytes / replicas / consumer_count
                     for consumer_index in range(consumer_count):
-                        inbox = stage_inputs[stage_index + 1][consumer_index][
-                            replica_index
-                        ]
-                        yield inbox.put((batch_index, routed_core, share))
+                        inbox = consumer_inboxes[consumer_index][replica_index]
+                        yield inbox.put(
+                            (batch_index, routed_core, share),
+                            transient=True,
+                        )
 
         def source_process():
             for batch_index in range(batch_start, batch_start + batch_count):
                 for consumer_inboxes in stage_inputs[0]:
-                    yield consumer_inboxes[0].put((batch_index, -1, 0.0))
+                    yield consumer_inboxes[0].put(
+                        (batch_index, -1, 0.0), transient=True
+                    )
 
         processes: List = []
         for stage_index, cores in enumerate(plan.assignments):
@@ -874,6 +1046,8 @@ class PipelineExecutor:
         self.config = config
         self.trace = trace
         self.last_trace: Dict[int, List] = {}
+        #: (graph, per_batch_step_costs, merged rows) — see _RepetitionRun
+        self._stage_costs_memo = None
 
     # -- public API ---------------------------------------------------------
 
@@ -892,6 +1066,13 @@ class PipelineExecutor:
             # providers reach without a trace argument (eas_place) can
             # report; untraced runs never touch the ambient slot.
             set_active_recorder(self.trace)
+        # The DES allocates generators/tuples in bulk and (with the
+        # event free-list) frees almost nothing mid-repetition, so cycle
+        # collection passes are pure overhead here. Pause the collector
+        # for the measurement loop; one pass at the end reclaims cycles.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             for repetition in range(self.config.repetitions):
                 rng = np.random.default_rng(
@@ -930,6 +1111,8 @@ class PipelineExecutor:
                     )
                 )
         finally:
+            if gc_was_enabled:
+                gc.enable()
             if self.trace is not None:
                 set_active_recorder(None)
         result = RunResult(repetitions=tuple(repetition_results))

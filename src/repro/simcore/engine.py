@@ -5,7 +5,8 @@ processes (compression tasks, DVFS governors, the OS scheduler) advancing
 a shared virtual clock. The engine is a minimal generator-based DES in
 the style of SimPy:
 
-* a :class:`Simulator` owns the event heap and the clock (microseconds);
+* a :class:`Simulator` owns the event calendar and the clock
+  (microseconds);
 * a :class:`Process` wraps a generator that ``yield``\\ s events — most
   commonly :meth:`Simulator.timeout` — and resumes when they fire;
 * a :class:`Store` is a FIFO channel with optional capacity, used for the
@@ -15,6 +16,22 @@ Only the features this package needs are implemented, but they are
 implemented fully: deterministic FIFO ordering for simultaneous events,
 process completion events (so processes can join each other), and error
 propagation out of :meth:`Simulator.run`.
+
+Performance (see DESIGN.md "Performance engineering"): the calendar is
+*indexed* — a dict of exact-timestamp FIFO buckets plus a heap of the
+distinct pending timestamps — rather than one heap of
+``(time, sequence, event)`` tuples. Most events in a pipeline
+simulation land on a timestamp that already exists (zero-delay store
+handshakes, same-tick resumes), which the index turns into one dict hit
+and a list append, no tuple comparisons. Within a bucket, insertion
+order *is* the old sequence order, so pop order is provably identical
+to the heap it replaced. Events have no cancel API (they fire exactly
+once), so no lazy-cancellation bookkeeping is needed. Internal
+engine-owned events — process bootstraps, already-triggered-target
+resume ticks, :meth:`Simulator.all_of` deferred counts — are recycled
+through a free-list the public constructors (``timeout``/``event``/
+store handshakes) draw from; events handed to user code are never
+recycled, so holding one after it fired stays safe.
 
 Observability: a :class:`Simulator` may carry a
 :class:`~repro.obs.trace.TraceRecorder` (``trace=``). Named stores then
@@ -27,6 +44,7 @@ event-for-event identical to an untraced one.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.errors import SimulationError
@@ -37,12 +55,18 @@ __all__ = ["Event", "Process", "Simulator", "Store"]
 class Event:
     """A one-shot occurrence in virtual time.
 
-    An event is *queued* once :meth:`succeed` places it on the heap with
-    a value, and *triggered* once the simulator pops it and runs its
+    An event is *queued* once :meth:`succeed` places it on the calendar
+    with a value, and *triggered* once the simulator pops it and runs its
     callbacks. Processes waiting on an event resume with its value.
+
+    ``recyclable`` marks engine-internal events (bootstraps, resume
+    ticks, join counters) that provably have no external references once
+    fired; the run loop resets those into the simulator's free-list.
     """
 
-    __slots__ = ("simulator", "callbacks", "queued", "triggered", "value")
+    __slots__ = (
+        "simulator", "callbacks", "queued", "triggered", "value", "recyclable"
+    )
 
     def __init__(self, simulator: "Simulator") -> None:
         self.simulator = simulator
@@ -50,6 +74,7 @@ class Event:
         self.queued = False
         self.triggered = False
         self.value: Any = None
+        self.recyclable = False
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Queue the event to fire ``delay`` µs from now with ``value``."""
@@ -57,7 +82,18 @@ class Event:
             raise SimulationError("event succeeded twice")
         self.queued = True
         self.value = value
-        self.simulator._schedule(delay, self)
+        # Inlined Simulator._schedule — succeed() is the engine's single
+        # hottest call and the extra frame was measurable.
+        simulator = self.simulator
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} into the past")
+        at = simulator.now + delay
+        bucket = simulator._buckets.get(at)
+        if bucket is None:
+            simulator._buckets[at] = [self]
+            heapq.heappush(simulator._times, at)
+        else:
+            bucket.append(self)
         return self
 
 
@@ -70,7 +106,7 @@ class Process(Event):
     generator finishes, so other processes can wait for it.
     """
 
-    __slots__ = ("_generator", "name")
+    __slots__ = ("_generator", "name", "_traced")
 
     def __init__(
         self,
@@ -81,19 +117,25 @@ class Process(Event):
         super().__init__(simulator)
         self._generator = generator
         self.name = name
-        bootstrap = Event(simulator)
+        trace = simulator.trace
+        self._traced = trace is not None and trace.process_events
+        bootstrap = simulator._internal_event()
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed(None)
 
     def _resume(self, event: Event) -> None:
-        trace = self.simulator.trace
-        if trace is not None and trace.process_events:
-            trace.process_event("resume", self.name, self.simulator.now)
+        simulator = self.simulator
+        if self._traced:
+            trace = simulator.trace
+            if trace is not None:
+                trace.process_event("resume", self.name, simulator.now)
         try:
             target = self._generator.send(event.value)
         except StopIteration as stop:
-            if trace is not None and trace.process_events:
-                trace.process_event("end", self.name, self.simulator.now)
+            if self._traced:
+                trace = simulator.trace
+                if trace is not None:
+                    trace.process_event("end", self.name, simulator.now)
             if not self.queued:
                 self.succeed(stop.value)
             return
@@ -104,7 +146,7 @@ class Process(Event):
         if target.triggered:
             # The event already fired; resume on the next tick so that
             # event ordering stays deterministic.
-            immediate = Event(self.simulator)
+            immediate = simulator._internal_event()
             immediate.callbacks.append(self._resume)
             immediate.succeed(target.value)
         else:
@@ -112,7 +154,7 @@ class Process(Event):
 
 
 class Simulator:
-    """Event heap plus virtual clock (time unit: microseconds).
+    """Indexed event calendar plus virtual clock (microseconds).
 
     ``trace`` is an optional :class:`~repro.obs.trace.TraceRecorder`
     that named stores and processes report to; ``None`` (the default)
@@ -122,24 +164,62 @@ class Simulator:
     def __init__(self, trace=None) -> None:
         self.now = 0.0
         self.trace = trace
-        self._heap: List = []
-        self._sequence = 0
+        #: exact timestamp -> FIFO list of events queued for it
+        self._buckets = {}
+        #: heap of the distinct timestamps present in ``_buckets``
+        self._times: List[float] = []
+        #: recycled engine-internal events (see :class:`Event`)
+        self._free: List[Event] = []
 
     def _schedule(self, delay: float, event: Event) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} into the past")
-        self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+        at = self.now + delay
+        bucket = self._buckets.get(at)
+        if bucket is None:
+            self._buckets[at] = [event]
+            heapq.heappush(self._times, at)
+        else:
+            bucket.append(event)
 
-    def timeout(self, delay: float, value: Any = None) -> Event:
-        """An event that fires ``delay`` microseconds from now."""
+    def _internal_event(self) -> Event:
+        """A fresh (or recycled) event for engine-internal plumbing."""
+        free = self._free
+        if free:
+            event = free.pop()
+            event.recyclable = True
+            return event
         event = Event(self)
+        event.recyclable = True
+        return event
+
+    def timeout(self, delay: float, value: Any = None, transient: bool = False) -> Event:
+        """An event that fires ``delay`` microseconds from now.
+
+        ``transient=True`` promises the caller will not retain the event
+        after it fires (a fire-and-forget sleep); the engine then
+        recycles it through the free-list. The default keeps the event
+        caller-owned forever, so holding a timeout across
+        :meth:`run` calls stays safe.
+        """
+        free = self._free
+        event = free.pop() if free else Event(self)
+        if transient:
+            event.recyclable = True
         event.succeed(value, delay=delay)
         return event
 
-    def event(self) -> Event:
-        """A fresh unqueued event (queue it with ``succeed``)."""
-        return Event(self)
+    def event(self, transient: bool = False) -> Event:
+        """A fresh unqueued event (queue it with ``succeed``).
+
+        ``transient`` has the same not-retained-after-firing contract as
+        in :meth:`timeout`.
+        """
+        free = self._free
+        event = free.pop() if free else Event(self)
+        if transient:
+            event.recyclable = True
+        return event
 
     def process(self, generator: Generator, name: str = "process") -> Process:
         """Start a new process driving ``generator``."""
@@ -154,47 +234,83 @@ class Simulator:
         immediately; an empty list yields a join that fires on the next
         tick — both cases keep a reconfiguration barrier well-defined
         even when a window had nothing in flight.
+
+        Already-fired members are folded into one deferred count event
+        (not one tick event each): the deferred decrement lands on the
+        calendar at the position the *first* per-member tick used to
+        occupy, and since the per-member ticks were scheduled
+        back-to-back nothing else could ever fire between them — so
+        collapsing them is observably identical while a wide drain
+        barrier (windowed sessions fire one per window) allocates O(1)
+        extra events instead of O(members).
         """
-        join = Event(self)
+        join = self.event()
         members = list(events)
-        remaining = [len(members)]
-
-        def _arm(member: Event) -> None:
-            def _on_fire(_event: Event) -> None:
-                remaining[0] -= 1
-                if remaining[0] == 0:
-                    join.succeed([m.value for m in members])
-
-            if member.triggered:
-                # Count already-fired members on the next tick so join
-                # ordering stays deterministic relative to the heap.
-                immediate = Event(self)
-                immediate.callbacks.append(_on_fire)
-                immediate.succeed(member.value)
-            else:
-                member.callbacks.append(_on_fire)
-
         if not members:
             join.succeed([])
             return join
+        remaining = [len(members)]
+
+        def _on_fire(_event: Event) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                join.succeed([m.value for m in members])
+
+        already_fired = 0
         for member in members:
-            _arm(member)
+            if member.triggered:
+                already_fired += 1
+            else:
+                member.callbacks.append(_on_fire)
+
+        if already_fired:
+            def _count_already_fired(_event: Event) -> None:
+                remaining[0] -= already_fired - 1
+                _on_fire(_event)
+
+            deferred = self._internal_event()
+            deferred.callbacks.append(_count_already_fired)
+            deferred.succeed(None)
         return join
 
     def run(self, until: Optional[float] = None) -> float:
-        """Execute events until the heap drains or the clock passes
+        """Execute events until the calendar drains or the clock passes
         ``until``. Returns the final clock value."""
-        while self._heap:
-            time, _seq, event = self._heap[0]
+        buckets = self._buckets
+        times = self._times
+        free = self._free
+        while times:
+            time = times[0]
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
             self.now = time
-            event.triggered = True
-            callbacks, event.callbacks = event.callbacks, []
-            for callback in callbacks:
-                callback(event)
+            # Events scheduled *while draining* at the same timestamp are
+            # appended to this same bucket and drained in this pass —
+            # exactly where the old heap's sequence numbers put them.
+            bucket = buckets[time]
+            index = 0
+            try:
+                while index < len(bucket):
+                    event = bucket[index]
+                    index += 1
+                    event.triggered = True
+                    callbacks, event.callbacks = event.callbacks, []
+                    for callback in callbacks:
+                        callback(event)
+                    if event.recyclable:
+                        event.recyclable = False
+                        event.queued = False
+                        event.triggered = False
+                        event.value = None
+                        free.append(event)
+            except BaseException:
+                # Leave the calendar resumable: drop what already fired,
+                # keep the rest of the bucket for a later run().
+                del bucket[:index]
+                raise
+            del buckets[time]
+            heapq.heappop(times)
         if until is not None:
             self.now = until
         return self.now
@@ -224,9 +340,10 @@ class Store:
         self.simulator = simulator
         self.capacity = capacity
         self.name = name
-        self._items: List[Any] = []
-        self._getters: List[Event] = []
-        self._putters: List = []  # (event, item) pairs waiting for room
+        self._traced = simulator.trace is not None and name is not None
+        self._items = deque()
+        self._getters = deque()
+        self._putters = deque()  # (event, item) pairs waiting for room
 
     def __len__(self) -> int:
         return len(self._items)
@@ -240,31 +357,38 @@ class Store:
                 self.simulator.now,
             )
 
-    def put(self, item: Any) -> Event:
-        event = Event(self.simulator)
+    def put(self, item: Any, transient: bool = False) -> Event:
+        event = self.simulator.event(transient=transient)
         if self.capacity is None or len(self._items) < self.capacity:
             self._items.append(item)
             event.succeed(None)
-            self._dispatch()
+            # Getters and items are never both pending after a public
+            # call (_dispatch drains), so an empty getter queue means
+            # there is provably nothing to match.
+            if self._getters:
+                self._dispatch()
         else:
             self._putters.append((event, item))
-        self._report_depth()
+        if self._traced:
+            self._report_depth()
         return event
 
-    def get(self) -> Event:
-        event = Event(self.simulator)
+    def get(self, transient: bool = False) -> Event:
+        event = self.simulator.event(transient=transient)
         self._getters.append(event)
-        self._dispatch()
-        self._report_depth()
+        if self._items:
+            self._dispatch()
+        if self._traced:
+            self._report_depth()
         return event
 
     def _dispatch(self) -> None:
         while self._getters and self._items:
-            getter = self._getters.pop(0)
-            getter.succeed(self._items.pop(0))
+            getter = self._getters.popleft()
+            getter.succeed(self._items.popleft())
             while self._putters and (
                 self.capacity is None or len(self._items) < self.capacity
             ):
-                putter, item = self._putters.pop(0)
+                putter, item = self._putters.popleft()
                 self._items.append(item)
                 putter.succeed(None)

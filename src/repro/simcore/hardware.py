@@ -138,14 +138,32 @@ class CoreSpec:
             )
         if self.static_power_w < 0:
             raise ConfigurationError("static power must be non-negative")
+        # Memo caches for the hot curve lookups, keyed (κ, frequency).
+        # A simulated pipeline evaluates the same handful of per-stage κ
+        # values hundreds of thousands of times, each walking a
+        # piecewise curve and computing a float pow — caching returns
+        # the exact float the first computation produced, so simulated
+        # numbers are bit-identical. The caches are plain attributes
+        # (not dataclass fields) attached past the frozen guard: repr,
+        # eq, hash, and the board fingerprint are unaffected.
+        object.__setattr__(self, "_eta_cache", {})
+        object.__setattr__(self, "_power_cache", {})
 
     # -- computation ------------------------------------------------------
 
     def eta_at(self, kappa: float, frequency_mhz: float = None) -> float:
         """Instructions per µs at intensity κ and the given frequency."""
+        key = (kappa, frequency_mhz)
+        cached = self._eta_cache.get(key)
+        if cached is not None:
+            return cached
         base = self.eta.value(kappa)
         scale = self._frequency_fraction(frequency_mhz)
-        return base * scale ** FREQUENCY_EXPONENT_PERFORMANCE
+        result = base * scale ** FREQUENCY_EXPONENT_PERFORMANCE
+        if len(self._eta_cache) >= 4096:
+            self._eta_cache.clear()
+        self._eta_cache[key] = result
+        return result
 
     def capacity(self, frequency_mhz: float = None) -> float:
         """Maximum instructions per µs (the paper's C_j): the η roof."""
@@ -162,13 +180,21 @@ class CoreSpec:
         the dynamic share scales down, which is why energy per
         instruction is *not* minimized at the lowest frequency (Fig 15).
         """
+        key = (kappa, frequency_mhz)
+        cached = self._power_cache.get(key)
+        if cached is not None:
+            return cached
         total_max = self.eta.value(kappa) / self.zeta.value(kappa)
         dynamic_max = max(total_max - self.busy_floor_power_w, 0.0)
         scale = self._frequency_fraction(frequency_mhz)
-        return (
+        result = (
             dynamic_max * scale ** FREQUENCY_EXPONENT_POWER
             + min(self.busy_floor_power_w, total_max)
         )
+        if len(self._power_cache) >= 4096:
+            self._power_cache.clear()
+        self._power_cache[key] = result
+        return result
 
     def zeta_at(self, kappa: float, frequency_mhz: float = None) -> float:
         """Effective instructions per µJ at the given frequency."""

@@ -1,0 +1,128 @@
+"""Numpy fast paths must be bit-identical to their scalar references.
+
+The cost model (``repro.core.cost_model``) and the lz4 encoder
+(``repro.compression.lz4``) each carry an optional numpy fast path with
+a pure-Python fallback (the package must run without numpy). These
+tests force the fallback by monkeypatching the modules' ``_np`` handles
+and assert the two paths agree bit for bit — on randomized plans and
+randomized payloads, not just the curated fixtures — so the fast paths
+can never drift from the reference semantics.
+"""
+
+import random
+
+import pytest
+
+import repro.compression.lz4 as lz4_module
+import repro.core.cost_model as cost_model_module
+from repro.compression.lz4 import Lz4
+from repro.core.plan import SchedulingPlan
+
+pytestmark = pytest.mark.skipif(
+    cost_model_module._np is None, reason="numpy not installed"
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    from repro.compression import get_codec
+    from repro.core.baselines import WorkloadContext
+    from repro.core.profiler import profile_workload
+    from repro.datasets import get_dataset
+    from repro.simcore.boards import rk3399
+
+    profile = profile_workload(
+        get_codec("tcomp32"), get_dataset("rovio"), 8192, batches=4
+    )
+    return WorkloadContext.build(rk3399(), profile, 26.0)
+
+
+def _random_plans(context, count, seed):
+    """Random (possibly replicated, possibly colocated) plans."""
+    rng = random.Random(seed)
+    graph = context.fine_graph
+    core_ids = [core.core_id for core in context.board.cores]
+    plans = []
+    for _ in range(count):
+        assignments = tuple(
+            tuple(
+                rng.choice(core_ids)
+                for _ in range(rng.randint(1, min(3, len(core_ids))))
+            )
+            for _ in range(graph.stage_count)
+        )
+        plans.append(SchedulingPlan(graph=graph, assignments=assignments))
+    return plans
+
+
+class TestCostModelParity:
+    def test_randomized_plans_scalar_equals_numpy(
+        self, context, monkeypatch
+    ):
+        """evaluate() with and without numpy gives identical estimates."""
+        plans = _random_plans(context, count=25, seed=20260808)
+
+        fast_model = context.cost_model(context.fine_graph)
+        fast = [fast_model.evaluate(plan) for plan in plans]
+
+        monkeypatch.setattr(cost_model_module, "_np", None)
+        scalar_model = context.cost_model(context.fine_graph)
+        scalar = [scalar_model.evaluate(plan) for plan in plans]
+
+        for fast_estimate, scalar_estimate in zip(fast, scalar):
+            assert fast_estimate == scalar_estimate
+
+    def test_evaluate_matches_internal_scalar_path(self, context):
+        """The retained _evaluate_scalar reference agrees with evaluate()."""
+        model = context.cost_model(context.fine_graph)
+        for plan in _random_plans(context, count=10, seed=77):
+            assert model.evaluate(plan) == model._evaluate_scalar(plan)
+
+    def test_per_task_estimates_identical(self, context, monkeypatch):
+        fast_model = context.cost_model(context.fine_graph)
+        graph = fast_model.graph
+        cores = [core.core_id for core in context.board.cores]
+        fast = [
+            (
+                fast_model.compute_latency(stage, core, replicas),
+                fast_model.task_energy(stage, core, replicas),
+            )
+            for stage in range(graph.stage_count)
+            for core in cores
+            for replicas in (1, 2)
+        ]
+        monkeypatch.setattr(cost_model_module, "_np", None)
+        scalar_model = context.cost_model(context.fine_graph)
+        scalar = [
+            (
+                scalar_model.compute_latency(stage, core, replicas),
+                scalar_model.task_energy(stage, core, replicas),
+            )
+            for stage in range(graph.stage_count)
+            for core in cores
+            for replicas in (1, 2)
+        ]
+        assert fast == scalar
+
+
+class TestLz4Parity:
+    def _payloads(self):
+        rng = random.Random(13)
+        payloads = []
+        for size in (0, 5, 64, 1024, 16384):
+            payloads.append(bytes(rng.randrange(256) for _ in range(size)))
+            payloads.append((b"sensor-0042;" * (size // 12 + 1))[:size])
+        return payloads
+
+    def test_vectorized_hash_path_byte_identical(self, monkeypatch):
+        codecs = [Lz4(), Lz4(index_bits=8, max_search_length=32)]
+        for data in self._payloads():
+            for codec in codecs:
+                fast = codec.compress(data)
+                monkeypatch.setattr(lz4_module, "_np", None)
+                scalar = codec.compress(data)
+                monkeypatch.undo()
+                assert fast.payload == scalar.payload
+                assert fast.counters == scalar.counters
+                assert fast.step_costs == scalar.step_costs
+                assert codec.decompress(fast.payload) == data
