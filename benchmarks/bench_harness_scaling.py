@@ -161,15 +161,28 @@ def bench_replanning(rounds: int = 5):
     }
 
 
-def bench_chaos_recovery(boards=("rk3399", "jetson_tx2_like")):
-    """Per-board failover recovery under a permanent big-core failure.
+#: chaos scenarios the perf record tracks: the heartbeat-driven
+#: failover (core-failure) plus the two signal-free faults that only
+#: the residual ledger can attribute; corruption runs at an elevated
+#: probability so the retry load dominates the window
+BENCH_CHAOS_SCENARIOS = (
+    ("core-failure", {}),
+    ("interconnect", {}),
+    ("corruption", {"corruption_probability": 0.6}),
+)
 
-    Runs the ``core-failure`` chaos scenario (see
-    :mod:`repro.faults.chaos`) on each board and records the recovery
-    latency the adaptive controller achieves alongside the steady-state
-    violation counts of both arms — the robustness trajectory the perf
-    record tracks across boards, next to the scheduler-search cost its
-    replans ride on.
+
+def bench_chaos_recovery(boards=("rk3399", "jetson_tx2_like")):
+    """Per-board recovery under injected faults, heartbeat or not.
+
+    Runs the :data:`BENCH_CHAOS_SCENARIOS` grid (see
+    :mod:`repro.faults.chaos`) on each board and records, per cell, the
+    recovery latency the adaptive controller achieves, the steady-state
+    violation counts of both arms, and the residual ledger's dominant
+    attribution — the component the health report pins the fault on.
+    ``core-failure`` exercises the heartbeat failover path;
+    ``interconnect`` and ``corruption`` emit no heartbeat and are only
+    recoverable through residual diagnosis.
     """
     from repro.faults.chaos import ChaosSpec, run_chaos_session
     from repro.simcore import boards as board_module
@@ -184,33 +197,56 @@ def bench_chaos_recovery(boards=("rk3399", "jetson_tx2_like")):
             profile_batches=3,
             cache=None,
         )
-        started = time.perf_counter()
-        comparison = run_chaos_session(
-            harness,
-            ChaosSpec(scenario="core-failure", batch_bytes=8192),
-        )
-        elapsed = time.perf_counter() - started
-        recovery = comparison.adaptive_recovery_us
-        per_board[board_name] = {
-            "victim_core": comparison.victim_core,
-            "static_steady_violations": comparison.static_steady_violations,
-            "adaptive_steady_violations": (
-                comparison.adaptive_steady_violations
-            ),
-            "adaptive_recovery_ms": (
-                round(recovery / 1000.0, 2) if recovery is not None else None
-            ),
-            "static_recovers": comparison.static_recovery_us is not None,
-            "wall_seconds": round(elapsed, 4),
-        }
-        print(
-            f"chaos {board_name}: static "
-            f"{per_board[board_name]['static_steady_violations']} vs "
-            f"adaptive "
-            f"{per_board[board_name]['adaptive_steady_violations']} steady "
-            f"violations, recovery "
-            f"{per_board[board_name]['adaptive_recovery_ms']} ms"
-        )
+        per_board[board_name] = {}
+        for scenario, overrides in BENCH_CHAOS_SCENARIOS:
+            started = time.perf_counter()
+            comparison = run_chaos_session(
+                harness,
+                ChaosSpec(scenario=scenario, batch_bytes=8192, **overrides),
+            )
+            elapsed = time.perf_counter() - started
+            recovery = comparison.adaptive_recovery_us
+            dominant = None
+            if comparison.health is not None:
+                attribution = comparison.health.dominant()
+                if attribution is not None:
+                    dominant = {
+                        "kind": attribution.kind,
+                        "key": attribution.key,
+                        "score": round(attribution.score, 2),
+                        "confidence": round(attribution.confidence, 2),
+                    }
+            outcome = {
+                "victim_core": comparison.victim_core,
+                "static_steady_violations": (
+                    comparison.static_steady_violations
+                ),
+                "adaptive_steady_violations": (
+                    comparison.adaptive_steady_violations
+                ),
+                "adaptive_recovery_ms": (
+                    round(recovery / 1000.0, 2)
+                    if recovery is not None else None
+                ),
+                "static_recovers": comparison.static_recovery_us is not None,
+                "dominant_attribution": dominant,
+                "wall_seconds": round(elapsed, 4),
+            }
+            if overrides:
+                outcome["spec_overrides"] = dict(overrides)
+            per_board[board_name][scenario] = outcome
+            culprit = (
+                f"{dominant['kind']}:{dominant['key']}"
+                if dominant else "none"
+            )
+            print(
+                f"chaos {board_name}/{scenario}: static "
+                f"{outcome['static_steady_violations']} vs adaptive "
+                f"{outcome['adaptive_steady_violations']} steady "
+                f"violations, recovery "
+                f"{outcome['adaptive_recovery_ms']} ms, "
+                f"attribution {culprit}"
+            )
     return per_board
 
 
@@ -404,15 +440,38 @@ def test_harness_scaling():
     assert record["replanning"]["cold_seconds"] > 0
     assert record["replanning"]["warm_start_hits"] >= 0
     assert 0.0 <= record["replanning"]["warm_start_hit_rate"] <= 1.0
-    # the chaos section tracks per-board failover recovery: on every
-    # board the adaptive arm must recover (finite latency) and end with
-    # strictly fewer steady-state violations than the static plan
-    for board_name, outcome in record["chaos"].items():
-        assert outcome["adaptive_recovery_ms"] is not None, board_name
+    # the chaos section tracks per-board, per-scenario recovery: under
+    # the heartbeat fault (core-failure) every board's adaptive arm
+    # must recover (finite latency) and end with strictly fewer
+    # steady-state violations than the static plan
+    for board_name, outcomes in record["chaos"].items():
+        failure = outcomes["core-failure"]
+        assert failure["adaptive_recovery_ms"] is not None, board_name
         assert (
-            outcome["adaptive_steady_violations"]
-            < outcome["static_steady_violations"]
+            failure["adaptive_steady_violations"]
+            < failure["static_steady_violations"]
         ), board_name
+        # the signal-free faults never leave the adaptive arm worse off
+        for scenario in ("interconnect", "corruption"):
+            outcome = outcomes[scenario]
+            assert (
+                outcome["adaptive_steady_violations"]
+                <= outcome["static_steady_violations"]
+            ), (board_name, scenario)
+    # signal-free faults emit no heartbeat — the residual ledger must
+    # name the right component, and on the reference board the
+    # diagnosis replan must convert detection into a strict win
+    rk = record["chaos"]["rk3399"]
+    assert rk["interconnect"]["dominant_attribution"]["kind"] == "path"
+    assert rk["corruption"]["dominant_attribution"]["kind"] == "retry"
+    assert (
+        rk["interconnect"]["adaptive_steady_violations"]
+        < rk["interconnect"]["static_steady_violations"]
+    )
+    assert (
+        rk["corruption"]["adaptive_steady_violations"]
+        < rk["corruption"]["static_steady_violations"]
+    )
 
 
 def main(argv=None) -> int:

@@ -40,6 +40,11 @@ CSA008    no unsorted filesystem enumeration (``os.listdir``,
           ``glob.glob``, ``Path.iterdir``/``glob``/``rglob``,
           ``os.scandir``, ``os.walk``) anywhere unless wrapped in
           ``sorted(...)`` — directory order is filesystem-dependent
+CSA009    every telemetry-hook call (``telemetry.comm``,
+          ``collector.retry``, …) in the simulation/scheduling packages
+          must sit inside an ``if <collector> is not None`` guard — the
+          residual ledger rides the same zero-overhead-when-off
+          contract as tracing
 ========  ==================================================================
 
 Suppression: append ``# csa: ignore[CSA00x]`` (comma-separate several
@@ -81,6 +86,7 @@ RULES: Dict[str, str] = {
     "CSA006": "trace hook not guarded by a recorder-is-None fast path",
     "CSA007": "environment read inside deterministic code",
     "CSA008": "unsorted filesystem enumeration",
+    "CSA009": "telemetry hook not guarded by a collector-is-None fast path",
 }
 
 #: packages (directories under ``repro/``) where the simulator's purity
@@ -114,6 +120,9 @@ _TRACE_HOOKS = frozenset({
     "batch_complete", "queue_depth", "energy_sample", "placement",
     "process_event", "begin_repetition", "end_repetition",
 })
+
+#: TelemetryCollector ingestion methods (the hooks CSA009 guards)
+_TELEMETRY_HOOKS = frozenset({"comm", "retry", "collect_window"})
 
 #: callables that consume an iterable order-insensitively — a set or a
 #: directory listing fed *directly* into one of these is deterministic
@@ -535,6 +544,26 @@ class _Linter(ast.NodeVisitor):
                         f"trace hook {receiver}.{node.func.attr}(...) is "
                         f"not inside an 'if {receiver} is not None' guard; "
                         "untraced runs must keep the zero-overhead path",
+                    )
+
+        # CSA009 — unguarded telemetry hook
+        if isinstance(node.func, ast.Attribute) and (
+            node.func.attr in _TELEMETRY_HOOKS
+        ):
+            receiver = _dotted(node.func.value)
+            if receiver is not None:
+                tail = receiver.rsplit(".", 1)[-1].lower()
+                if (
+                    "telemetry" in tail or "collector" in tail
+                ) and not any(
+                    receiver in guard for guard in self._guards
+                ):
+                    self._report(
+                        node, "CSA009",
+                        f"telemetry hook {receiver}.{node.func.attr}(...) "
+                        f"is not inside an 'if {receiver} is not None' "
+                        "guard; untelemetered runs must keep the "
+                        "zero-overhead path",
                     )
 
         # CSA007 — os.getenv (os.environ is caught at the Attribute)

@@ -35,6 +35,14 @@ TRC006    a core emits no task service spans after its permanent-failure
 TRC007    every ``batch-retry`` event names a batch with a matching
           ``batch-corrupted`` event — retries only happen to batches the
           decode verification actually flagged
+HLT001    in a session health report, each window's attributed component
+          residuals plus the unattributed remainder sum to the window's
+          latency residual
+HLT002    health attributions reference live components: the named
+          (kind, key) appears in the window's component list, path keys
+          are known interconnect classes, stage/core keys are indices
+HLT003    every quantity in a health report is finite — a NaN residual
+          means the ledger divided by an empty window
 ========  ==================================================================
 
 Severity model: **error** findings make the CLI exit 1; **warning**
@@ -50,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import numbers
 import sys
 from dataclasses import asdict, dataclass
@@ -61,6 +70,7 @@ __all__ = [
     "verify_plan",
     "verify_trace_events",
     "verify_chrome_payload",
+    "verify_health",
     "iter_chrome_events",
     "iter_recorder_events",
     "main",
@@ -80,6 +90,11 @@ INVARIANTS: Dict[str, str] = {
     "TRC005": "non-negative ts/dur, integer pid/tid",
     "TRC006": "no service spans on a core after its permanent failure",
     "TRC007": "every retried batch has a matching corruption event",
+    "HLT001": "health components plus unattributed sum to the window "
+              "residual",
+    "HLT002": "health attributions reference live components (known "
+              "path class, named component present in the window)",
+    "HLT003": "health report quantities are all finite",
 }
 
 ERROR = "error"
@@ -602,6 +617,161 @@ def verify_chrome_payload(payload: Any) -> List[VerifyFinding]:
 
 
 # ---------------------------------------------------------------------------
+# health-report invariants
+# ---------------------------------------------------------------------------
+
+#: HLT001 tolerance — the ledger sums residual slices with fsum, so any
+#: drift beyond float noise means writer and checker disagree.
+_RESIDUAL_EPSILON = 1e-6
+
+#: interconnect path classes a "path" attribution may name
+_KNOWN_PATHS = ("local", "c0", "c1", "c2")
+
+
+def _health_number(value: Any) -> Optional[float]:
+    if isinstance(value, numbers.Real) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def verify_health(payload: Any) -> List[VerifyFinding]:
+    """Arithmetic invariants (HLT001-HLT003) of a parsed health report.
+
+    Expects the report to be schema-valid already
+    (:func:`repro.obs.check.validate_health` runs the schema layer);
+    here only the cross-field arithmetic is enforced, duck-typed over
+    the raw JSON so this module stays importable with the standard
+    library alone.
+    """
+    findings: List[VerifyFinding] = []
+    if not isinstance(payload, dict):
+        return findings
+    windows = payload.get("windows")
+    if not isinstance(windows, list):
+        return findings
+    for index, window in enumerate(windows):
+        if not isinstance(window, dict):
+            continue
+        where = f"windows[{index}]"
+        # HLT003 — everything finite
+        numeric: List[Tuple[str, Any]] = [
+            (name, window.get(name))
+            for name in (
+                "measured_latency_us_per_byte",
+                "predicted_latency_us_per_byte",
+                "latency_residual_us_per_byte",
+                "measured_energy_uj_per_byte",
+                "predicted_energy_uj_per_byte",
+                "energy_residual_uj_per_byte",
+                "unattributed_us_per_byte",
+            )
+        ]
+        components = window.get("components")
+        components = components if isinstance(components, list) else []
+        for c_index, component in enumerate(components):
+            if isinstance(component, dict):
+                numeric.append((
+                    f"components[{c_index}].residual_us_per_byte",
+                    component.get("residual_us_per_byte"),
+                ))
+                numeric.append((
+                    f"components[{c_index}].score",
+                    component.get("score"),
+                ))
+        attribution = window.get("attribution")
+        if isinstance(attribution, dict):
+            for name in ("score", "residual_us_per_byte", "confidence"):
+                numeric.append((f"attribution.{name}",
+                                attribution.get(name)))
+        finite = True
+        for name, value in numeric:
+            parsed = _health_number(value)
+            if parsed is None or not math.isfinite(parsed):
+                finite = False
+                findings.append(
+                    VerifyFinding(
+                        code="HLT003",
+                        severity=ERROR,
+                        message=f"{name} is not a finite number",
+                        location=where,
+                    )
+                )
+        if not finite:
+            continue
+        # HLT001 — components + unattributed == window residual
+        residual = float(window["latency_residual_us_per_byte"])
+        attributed = sum(
+            float(component["residual_us_per_byte"])
+            for component in components
+            if isinstance(component, dict)
+        ) + float(window["unattributed_us_per_byte"])
+        scale = max(abs(residual), abs(attributed), 1.0)
+        if abs(residual - attributed) > _RESIDUAL_EPSILON * scale:
+            findings.append(
+                VerifyFinding(
+                    code="HLT001",
+                    severity=ERROR,
+                    message=(
+                        f"component residuals sum to {attributed:.9g} "
+                        f"but the window residual is {residual:.9g}"
+                    ),
+                    location=where,
+                )
+            )
+        # HLT002 — the attribution names a component that exists
+        if isinstance(attribution, dict):
+            kind = attribution.get("kind")
+            key = attribution.get("key")
+            named = {
+                (component.get("kind"), component.get("key"))
+                for component in components
+                if isinstance(component, dict)
+            }
+            if (kind, key) not in named:
+                findings.append(
+                    VerifyFinding(
+                        code="HLT002",
+                        severity=ERROR,
+                        message=(
+                            f"attribution names {kind}:{key} but the "
+                            "window has no such component"
+                        ),
+                        location=where,
+                    )
+                )
+            if kind == "path" and key not in _KNOWN_PATHS:
+                findings.append(
+                    VerifyFinding(
+                        code="HLT002",
+                        severity=ERROR,
+                        message=(
+                            f"attribution names unknown interconnect "
+                            f"path {key!r}"
+                        ),
+                        location=where,
+                    )
+                )
+            if kind in ("retry", "core"):
+                try:
+                    parsed_key = int(key)
+                except (TypeError, ValueError):
+                    parsed_key = None
+                if parsed_key is None or parsed_key < 0:
+                    findings.append(
+                        VerifyFinding(
+                            code="HLT002",
+                            severity=ERROR,
+                            message=(
+                                f"attribution {kind} key {key!r} is not "
+                                "a non-negative index"
+                            ),
+                            location=where,
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -609,7 +779,10 @@ def verify_chrome_payload(payload: Any) -> List[VerifyFinding]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.verify",
-        description="trace-stream invariant verifier (TRC001-TRC007)",
+        description=(
+            "trace-stream and health-report invariant verifier "
+            "(TRC001-TRC007, HLT001-HLT003)"
+        ),
     )
     parser.add_argument("traces", nargs="+", metavar="TRACE.json")
     parser.add_argument(
@@ -627,12 +800,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for path in args.traces:
         try:
             with open(path, "r", encoding="utf-8") as source:
-                payload = json.load(source)
-        except (OSError, json.JSONDecodeError) as error:
+                text = source.read()
+        except OSError as error:
             print(f"{path}: unreadable trace: {error}", file=sys.stderr)
             status = 2
             continue
-        for finding in verify_chrome_payload(payload):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            # An NDJSON tail of per-window health records (the format
+            # `cstream --health-out` streams) is one JSON object per
+            # line; wrap it into a session-shaped payload.
+            try:
+                records = [
+                    json.loads(line)
+                    for line in text.splitlines()
+                    if line.strip()
+                ]
+            except json.JSONDecodeError:
+                records = []
+            if records and all(isinstance(r, dict) for r in records):
+                payload = {"windows": records}
+            else:
+                print(
+                    f"{path}: unreadable trace: {error}", file=sys.stderr
+                )
+                status = 2
+                continue
+        if isinstance(payload, dict) and "windows" in payload:
+            checked = verify_health(payload)
+        else:
+            checked = verify_chrome_payload(payload)
+        for finding in checked:
             all_findings.append((path, finding))
 
     errors = sum(1 for _, f in all_findings if f.severity == ERROR)

@@ -28,13 +28,21 @@ Subcommands
 ``chaos``
     Inject a fault scenario (core failure, DVFS throttle, stall,
     interconnect degradation, batch corruption) mid-session and compare
-    the adaptive controller's failover recovery against the static plan
-    limping along on emergency reroutes.
+    the adaptive controller's failover/diagnosis recovery against the
+    static plan limping along on emergency reroutes. The residual
+    ledger's health report prints per-window attributions;
+    ``--health-out`` streams them as NDJSON for ``cstream top``.
+``top``
+    Live view over a session health NDJSON tail (or a full health
+    JSON): per-window measured/predicted latency, residual, SLO state
+    and the implicated component. ``--prom`` additionally writes a
+    Prometheus-style text exposition.
 ``analyze``
     Run the static-analysis suite: the determinism linter
-    (``repro.analysis.lint``, rules CSA001-CSA008) over source paths
-    and, optionally, the trace invariant verifier
-    (``repro.analysis.verify``, TRC001-TRC007) over exported traces.
+    (``repro.analysis.lint``, rules CSA001-CSA009) over source paths
+    and, optionally, the trace/health invariant verifier
+    (``repro.analysis.verify``, TRC001-TRC007 and HLT001-HLT003) over
+    exported artifacts.
 ``boards``
     List the available simulated boards.
 """
@@ -186,6 +194,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="windows a migration must amortize over")
     adapt.add_argument("--out", default=None,
                        help="write the adaptive run's Chrome trace JSON")
+    adapt.add_argument("--telemetry", action="store_true",
+                       help="run the adaptive arm with the residual "
+                       "ledger and print per-window health")
+    adapt.add_argument("--health-out", default=None,
+                       help="write per-window health NDJSON "
+                       "(implies --telemetry)")
 
     chaos = commands.add_parser(
         "chaos",
@@ -205,8 +219,30 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--margin", type=float, default=1.35,
                        help="session L_set = static plan's modeled "
                        "latency x this margin")
+    chaos.add_argument("--corruption-probability", type=float, default=0.15,
+                       help="per-batch corruption probability for the "
+                       "corruption scenarios (default 0.15)")
     chaos.add_argument("--out", default=None,
                        help="write the adaptive run's Chrome trace JSON")
+    chaos.add_argument("--health-out", default=None,
+                       help="write the adaptive arm's per-window health "
+                       "NDJSON (for cstream top / CI artifacts)")
+
+    top = commands.add_parser(
+        "top",
+        help="live view over a session health NDJSON tail",
+    )
+    top.add_argument("health", metavar="HEALTH",
+                     help="health NDJSON tail (or full health JSON) "
+                     "written by cstream chaos/adapt --health-out")
+    top.add_argument("--follow", action="store_true",
+                     help="keep re-reading the file like tail -f")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="poll interval with --follow (seconds)")
+    top.add_argument("--limit", type=int, default=12,
+                     help="windows shown (most recent first)")
+    top.add_argument("--prom", default=None, metavar="FILE",
+                     help="also write a Prometheus-style text exposition")
 
     analyze = commands.add_parser(
         "analyze",
@@ -415,6 +451,41 @@ def _command_bench(args) -> int:
     return bench_main(argv)
 
 
+def _print_health(health) -> None:
+    if health is None:
+        return
+    anomalous = health.anomalous_windows()
+    if not anomalous:
+        print("  health: nominal (no anomalous windows)")
+        return
+    for window in anomalous:
+        attribution = window.attribution
+        print(
+            f"  window {window.window_index}: "
+            f"{attribution.describe()} "
+            f"(score {attribution.score:.1f}, "
+            f"confidence {attribution.confidence:.2f}, "
+            f"residual {attribution.residual_us_per_byte:+.4f} µs/byte)"
+        )
+    dominant = health.dominant()
+    if dominant is not None:
+        print(
+            f"  health verdict: {dominant.describe()} "
+            f"(score {dominant.score:.1f})"
+        )
+
+
+def _write_health(health, path: str) -> None:
+    from repro.obs.live import NdjsonTail
+
+    if health is None:
+        print(f"no health report to write to {path}", file=sys.stderr)
+        return
+    with open(path, "w", encoding="utf-8") as stream:
+        NdjsonTail(stream).emit_session(health)
+    print(f"wrote {len(health.windows)} health windows to {path}")
+
+
 def _command_adapt(args) -> int:
     from repro.control import (
         ControllerConfig,
@@ -436,7 +507,10 @@ def _command_adapt(args) -> int:
         controller=ControllerConfig(horizon_windows=args.horizon),
     )
     recorder = TraceRecorder() if args.out is not None else None
-    comparison = run_adaptive_session(harness, spec, trace=recorder)
+    telemetry = args.telemetry or args.health_out is not None
+    comparison = run_adaptive_session(
+        harness, spec, trace=recorder, telemetry=telemetry
+    )
     print(
         f"{spec.codec} on drifting micro ({spec.scenario}, "
         f"range {spec.low_range} -> {spec.high_range}, "
@@ -476,6 +550,10 @@ def _command_adapt(args) -> int:
             f"candidate {event.candidate_energy_uj_per_byte:.3f} µJ/byte, "
             f"pause {event.migration_pause_us / 1000.0:.1f} ms)"
         )
+    if telemetry:
+        _print_health(comparison.health)
+    if args.health_out is not None:
+        _write_health(comparison.health, args.health_out)
     if recorder is not None:
         from repro.obs.export import write_chrome_trace
 
@@ -502,6 +580,7 @@ def _command_chaos(args) -> int:
         window_batches=args.window,
         fault_batch=args.fault_batch,
         latency_margin=args.margin,
+        corruption_probability=args.corruption_probability,
     )
     recorder = TraceRecorder() if args.out is not None else None
     comparison = run_chaos_session(harness, spec, trace=recorder)
@@ -548,6 +627,9 @@ def _command_chaos(args) -> int:
             f"throttled {list(event.throttled_cores)}, "
             f"pause {event.pause_us / 1000.0:.1f} ms)"
         )
+    _print_health(comparison.health)
+    if args.health_out is not None:
+        _write_health(comparison.health, args.health_out)
     print(f"  final adaptive plan: {comparison.adaptive.final_plan_description}")
     if recorder is not None:
         from repro.obs.export import write_chrome_trace
@@ -560,6 +642,53 @@ def _command_chaos(args) -> int:
             f"{recorder.batch_retries} retries)"
         )
     return 0
+
+
+def _command_top(args) -> int:
+    import time
+
+    from repro.obs.health import SessionHealth
+    from repro.obs.live import prometheus_text, read_ndjson, render_top
+
+    def _load():
+        """(windows, session) from NDJSON tail or a full health JSON."""
+        with open(args.health, "r", encoding="utf-8") as stream:
+            text = stream.read()
+        stripped = text.lstrip()
+        if stripped.startswith("{") and '"windows"' in stripped:
+            session = SessionHealth.from_json(text)
+            return list(session.windows), session
+        windows = read_ndjson(text.splitlines())
+        session = SessionHealth(
+            label=os.path.basename(args.health),
+            board="unknown",
+            latency_constraint_us_per_byte=0.0,
+            windows=tuple(windows),
+        )
+        return windows, session
+
+    def _render_once() -> None:
+        windows, session = _load()
+        constraint = (
+            session.latency_constraint_us_per_byte
+            if session.latency_constraint_us_per_byte > 0.0
+            else None
+        )
+        print(render_top(windows, constraint, limit=args.limit))
+        if args.prom is not None:
+            with open(args.prom, "w", encoding="utf-8") as stream:
+                stream.write(prometheus_text(session))
+
+    if not args.follow:
+        _render_once()
+        return 0
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            _render_once()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _command_analyze(args) -> int:
@@ -603,6 +732,7 @@ def main(argv=None) -> int:
         "bench": _command_bench,
         "adapt": _command_adapt,
         "chaos": _command_chaos,
+        "top": _command_top,
         "analyze": _command_analyze,
         "boards": _command_boards,
     }

@@ -24,10 +24,25 @@ in-flight batches):
    pipeline-pause energy at static power). Exception: a candidate that
    rescues a violated latency constraint is adopted unconditionally —
    meeting ``L_set`` trumps the energy ledger.
+4. **Residual diagnosis** (only when the executor carries a telemetry
+   collector) — windows that violate ``L_set`` without any heartbeat or
+   drift signal are handed to the residual ledger
+   (:mod:`repro.obs.residuals`). When the ledger's health report pins
+   the violation on a *signal-free* fault, the controller edits the
+   cost model to match reality and replans around it with
+   ``reason="diagnosis"``: a degraded interconnect path is re-priced in
+   the communication table
+   (:meth:`~repro.core.cost_model.CostModel.apply_path_degradation`),
+   so the scheduler routes the pipeline off the slow link; a
+   retry-heavy final stage gets its ``latency_scale`` inflated by the
+   measured retry burden, so the scheduler buys replicas that shrink
+   the re-run cost. Each (kind, key) is acted on once per session —
+   the model edit is persistent, so repeating it would compound.
 
 Everything is deterministic: the controller draws no randomness and
-reads no clocks; its only inputs are the window observation and the
-pre-built per-batch step costs.
+reads no clocks (the ledger's tie-break epsilons come from a fixed
+seed); its only inputs are the window observation — including its
+telemetry, when collected — and the pre-built per-batch step costs.
 """
 
 from __future__ import annotations
@@ -42,7 +57,10 @@ from repro.core.scheduler import Scheduler
 from repro.core.statistics_regulator import StatisticsAwareRegulator
 from repro.errors import ConfigurationError
 from repro.numerics import ordered_sum
+from repro.obs.health import SessionHealth, WindowHealth, build_window_health
+from repro.obs.residuals import LedgerConfig, ResidualLedger
 from repro.runtime.executor import WindowDecision, WindowObservation
+from repro.simcore.interconnect import Path
 
 __all__ = [
     "ControllerConfig",
@@ -69,12 +87,22 @@ class ControllerConfig:
     #: the replica state footprint — the migratable state (dictionary,
     #: counters, partial window) is a fraction of one batch's output
     state_bytes_scale: float = 0.25
+    #: residual anomaly score a health attribution must clear before a
+    #: diagnosis replan fires (healthy windows sit near |score| ≈ 1)
+    diagnosis_threshold: float = 3.0
+    #: cap on the one-shot latency_scale inflation a retry diagnosis may
+    #: apply — keeps a pathological window from poisoning the model
+    diagnosis_scale_cap: float = 8.0
 
     def __post_init__(self) -> None:
         if self.horizon_windows < 1:
             raise ConfigurationError("horizon must span at least one window")
         if self.min_saving_ratio <= 0.0:
             raise ConfigurationError("min_saving_ratio must be positive")
+        if self.diagnosis_threshold <= 0.0:
+            raise ConfigurationError("diagnosis threshold must be positive")
+        if self.diagnosis_scale_cap < 1.0:
+            raise ConfigurationError("diagnosis scale cap must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -140,8 +168,15 @@ class SessionController:
         self.replans = 0
         self.plans_adopted = 0
         self.warm_start_hits = 0
+        #: residual ledger + per-window health, populated only when the
+        #: executor delivers telemetry with its window observations
+        self.ledger = ResidualLedger(LedgerConfig())
+        self.health_windows: List[WindowHealth] = []
         self._failed_cores: set = set()
         self._throttled: dict = {}
+        #: (kind, key) pairs already acted on — each model edit is
+        #: persistent, so repeating it would compound the correction
+        self._diagnosed: set = set()
         self._state_bytes = {
             stage: model.stage_output_bytes(stage) * config.state_bytes_scale
             for stage in range(model.graph.stage_count)
@@ -158,6 +193,14 @@ class SessionController:
         self, observation: WindowObservation
     ) -> Optional[WindowDecision]:
         """Digest one completed window; maybe hand back a plan swap."""
+        # The ledger sees the window against the plan that was actually
+        # in force while it ran — before any decision below mutates the
+        # model or the plan.
+        health: Optional[WindowHealth] = None
+        if observation.telemetry is not None:
+            health = self.ingest_telemetry(
+                observation.telemetry, observation.latencies_us_per_byte
+            )
         drifted = False
         for batch_index in range(
             observation.batch_start,
@@ -178,9 +221,182 @@ class SessionController:
         )
         if new_failed or new_throttled:
             return self._failover(observation, new_failed, new_throttled)
-        if not drifted:
+        if drifted:
+            return self._replan(observation)
+        # No heartbeat, no drift: the residual ledger is the last line
+        # of defense against signal-free faults.
+        if health is not None:
+            return self._diagnose(observation, health)
+        return None
+
+    # -- residual diagnosis ---------------------------------------------------
+
+    def ingest_telemetry(
+        self, telemetry, latencies_us_per_byte: Sequence[float]
+    ) -> WindowHealth:
+        """Feed one window's telemetry through the residual ledger.
+
+        Called by :meth:`on_window` for every telemetry-carrying
+        observation, and by the session glue for the final window (the
+        executor consults no controller after the last batch). The
+        window's measured latency is the steady-batch mean — the first
+        batch of a window is the boundary batch that pays the full
+        pipeline traversal, which the model's steady-state estimate
+        deliberately excludes.
+        """
+        latencies = tuple(latencies_us_per_byte)
+        steady = latencies[1:] if len(latencies) > 1 else latencies
+        measured = ordered_sum(steady) / len(steady)
+        estimate = self.model.evaluate(self.plan)
+        residual = self.ledger.observe(
+            telemetry, measured, self.plan, estimate, self.model
+        )
+        constraint = self.model.latency_constraint_us_per_byte
+        violated = any(l > constraint for l in steady)
+        health = build_window_health(
+            residual, violated, self.config.diagnosis_threshold
+        )
+        self.health_windows.append(health)
+        return health
+
+    def session_health(self, label: str) -> SessionHealth:
+        """The session's health report so far (windows in order)."""
+        return SessionHealth(
+            label=label,
+            board=self.model.board.name,
+            latency_constraint_us_per_byte=(
+                self.model.latency_constraint_us_per_byte
+            ),
+            windows=tuple(self.health_windows),
+        )
+
+    def _diagnose(
+        self, observation: WindowObservation, health: WindowHealth
+    ) -> Optional[WindowDecision]:
+        """Replan around a component the health report implicates.
+
+        Fires only for windows that violate ``L_set`` with an anomalous
+        attribution on a *signal-free* component — a degraded path or a
+        retry-heavy stage. Core attributions stay report-only: an
+        underperforming core that matters shows up through the
+        heartbeat (throttle/failure) or drift paths, which own those
+        responses.
+        """
+        attribution = health.attribution
+        if attribution is None or not health.violated:
             return None
-        return self._replan(observation)
+        if attribution.kind not in ("path", "retry"):
+            return None
+        if (attribution.kind, attribution.key) in self._diagnosed:
+            return None
+        self._diagnosed.add((attribution.kind, attribution.key))
+
+        # Teach the model what the ledger measured, then replan on it.
+        window = self.ledger.windows[-1]
+        component = next(
+            c for c in window.components
+            if c.kind == attribution.kind and c.key == attribution.key
+        )
+        if attribution.kind == "path":
+            if component.predicted_us_per_byte > 0.0:
+                factor = (
+                    component.measured_us_per_byte
+                    / component.predicted_us_per_byte
+                )
+            else:
+                factor = self.config.diagnosis_scale_cap
+            factor = min(
+                max(factor, 1.0), self.config.diagnosis_scale_cap
+            )
+            self.model.apply_path_degradation(Path(attribution.key), factor)
+        else:
+            stage = int(attribution.key)
+            replica_l_comp = [
+                t.l_comp_us_per_byte
+                for t in self.model.evaluate(self.plan).task_estimates
+                if t.stage_index == stage
+            ]
+            mean_l_comp = (
+                ordered_sum(replica_l_comp) / len(replica_l_comp)
+                if replica_l_comp else 0.0
+            )
+            if mean_l_comp <= 0.0:
+                return None
+            scale = 1.0 + component.measured_us_per_byte / mean_l_comp
+            scale = min(scale, self.config.diagnosis_scale_cap)
+            self.model.latency_scale[stage] = (
+                self.model.latency_scale.get(stage, 1.0) * scale
+            )
+        # The scheduler's energy-floor caches and the vectorized cost
+        # tables both predate the model edit — rebuild from scratch (and
+        # keep honoring any earlier failover's survivor restriction).
+        surviving = [
+            c.core_id for c in self.model.board.cores
+            if c.core_id not in self._failed_cores
+        ]
+        self.scheduler = Scheduler(
+            self.model,
+            allowed_cores=surviving if self._failed_cores else None,
+        )
+        self.regulator.scheduler = self.scheduler
+
+        self.replans += 1
+        incumbent = self.model.evaluate(self.plan)
+        result = self.scheduler.schedule(best_effort=True, warm_start=self.plan)
+        candidate = result.estimate
+        hits = (
+            result.search_stats.warm_start_hits
+            if result.search_stats is not None
+            else 0
+        )
+        self.warm_start_hits += hits
+
+        delta = self.plan.diff(candidate.plan)
+        cost = migration_cost(
+            delta,
+            self.model.board,
+            self.model.communication,
+            self._state_bytes,
+        )
+        window_bytes = float(self.batch_bytes * observation.batch_count)
+        saving_uj = (
+            incumbent.energy_uj_per_byte - candidate.energy_uj_per_byte
+        ) * window_bytes * self.config.horizon_windows
+        cost_uj = cost.energy_uj + cost.pause_us * self._static_power_w
+
+        # A diagnosis targets an active SLO violation, so adoption is
+        # unconditional (like a failover) whenever the placement moves.
+        adopted = not delta.is_empty
+        if adopted:
+            self.plans_adopted += 1
+            self.plan = candidate.plan
+        self.events.append(
+            ControlEvent(
+                window_index=observation.window_index,
+                drifted=False,
+                replanned=True,
+                adopted=adopted,
+                reason="diagnosis",
+                incumbent_energy_uj_per_byte=incumbent.energy_uj_per_byte,
+                candidate_energy_uj_per_byte=candidate.energy_uj_per_byte,
+                modeled_saving_uj=saving_uj,
+                migration_cost_uj=cost_uj,
+                migration_pause_us=cost.pause_us,
+                warm_start_hits=hits,
+            )
+        )
+        return WindowDecision(
+            replanned=True,
+            adopted=adopted,
+            reason="diagnosis",
+            plan=candidate.plan if adopted else None,
+            pause_us=cost.pause_us if adopted else 0.0,
+            energy_uj=cost.energy_uj if adopted else 0.0,
+            moved_replicas=cost.moved_replicas,
+            moves=delta.describe(),
+            energy_uj_per_byte=candidate.energy_uj_per_byte,
+            warm_start_hits=hits,
+        )
 
     # -- internals -----------------------------------------------------------
 

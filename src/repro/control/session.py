@@ -14,7 +14,7 @@ control loop itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.compression import get_codec
 from repro.compression.base import StepCost
@@ -23,6 +23,8 @@ from repro.core.profiler import profile_workload
 from repro.core.scheduler import Scheduler
 from repro.datasets import DRIFT_KINDS, MicroDataset, drift_schedule
 from repro.errors import ConfigurationError
+from repro.obs.health import SessionHealth
+from repro.obs.residuals import TelemetryCollector
 from repro.runtime.executor import (
     ExecutionConfig,
     PipelineExecutor,
@@ -33,6 +35,7 @@ __all__ = [
     "SessionSpec",
     "SessionComparison",
     "build_drift_stream",
+    "finalize_session_health",
     "run_adaptive_session",
 ]
 
@@ -82,6 +85,9 @@ class SessionComparison:
     adaptive_steady_violations: int
     controller_events: Tuple
     warm_start_hits: int
+    #: residual-attribution health report of the adaptive arm — only
+    #: populated when the session ran with ``telemetry=True``
+    health: Optional[SessionHealth] = None
 
     @property
     def energy_saving(self) -> float:
@@ -131,16 +137,48 @@ def build_drift_stream(
     return context, stream, workload.batch_size
 
 
+def finalize_session_health(
+    controller: SessionController,
+    collector: TelemetryCollector,
+    result: SessionResult,
+    batch_bytes: int,
+    label: str,
+) -> SessionHealth:
+    """Close out a telemetry-carrying session's health report.
+
+    The executor collects telemetry for *every* window but only
+    consults the controller on non-final boundaries, so the final
+    window(s) sit in the collector unattributed; feed them through the
+    controller's ledger — against the final adopted plan, which is
+    what they ran under — and return the full report.
+    """
+    for telemetry in collector.windows[len(controller.health_windows):]:
+        start = telemetry.batch_start
+        previous = result.completion_ts_us[start - 1] if start > 0 else 0.0
+        latencies = []
+        for batch_index in range(start, start + telemetry.batch_count):
+            completed = result.completion_ts_us[batch_index]
+            latencies.append((completed - previous) / batch_bytes)
+            previous = completed
+        controller.ingest_telemetry(telemetry, latencies)
+    return controller.session_health(label)
+
+
 def run_adaptive_session(
     harness=None,
     spec: SessionSpec = SessionSpec(),
     trace=None,
+    telemetry: bool = False,
 ) -> SessionComparison:
     """Run one drift scenario statically and adaptively and compare.
 
     ``trace`` (a :class:`~repro.obs.trace.TraceRecorder`) is attached to
     the *adaptive* session only — that is the run whose replan and
-    migration events are worth inspecting.
+    migration events are worth inspecting. ``telemetry=True``
+    additionally runs the adaptive arm with a residual-ledger
+    telemetry collector and fills :attr:`SessionComparison.health`;
+    the default keeps both arms byte-identical to a pre-telemetry
+    build.
     """
     if harness is None:
         from repro.bench.harness import default_harness
@@ -176,8 +214,9 @@ def run_adaptive_session(
         config=spec.controller,
         plan=static_plan,
     )
+    collector = TelemetryCollector() if telemetry else None
     adaptive_result = PipelineExecutor(
-        harness.board, config, trace=trace
+        harness.board, config, trace=trace, telemetry=collector
     ).run_session(
         static_plan,
         stream,
@@ -185,6 +224,12 @@ def run_adaptive_session(
         window_batches=spec.window_batches,
         controller=controller,
     )
+    health = None
+    if collector is not None:
+        health = finalize_session_health(
+            controller, collector, adaptive_result, batch_bytes,
+            label=f"adapt:{spec.scenario}",
+        )
 
     def _summarize(result: SessionResult) -> Tuple[float, int, int]:
         measured = result.measured(spec.warmup_batches)
@@ -213,4 +258,5 @@ def run_adaptive_session(
         adaptive_steady_violations=adaptive_steady,
         controller_events=tuple(controller.events),
         warm_start_hits=controller.warm_start_hits,
+        health=health,
     )

@@ -40,6 +40,7 @@ from repro.errors import ConfigurationError
 from repro.numerics import ordered_sum
 from repro.simcore.boards import BoardSpec
 from repro.simcore.hardware import CoreType, replication_factor
+from repro.simcore.interconnect import Path
 
 try:  # numpy is optional here: the scalar path below is self-sufficient
     import numpy as _np
@@ -239,6 +240,39 @@ class CostModel:
 
     def stage_output_bytes(self, stage_index: int) -> float:
         return float(self._stage_costs[stage_index].output_bytes)
+
+    def apply_path_degradation(self, path: Path, factor: float) -> None:
+        """Teach the model that one interconnect path runs ``factor``× slow.
+
+        The controller's diagnosis trigger calls this when the residual
+        ledger pins a window's latency residual on a path class: the
+        communication table is rebuilt (never mutated in place — the
+        measured table is shared process-wide via the profiler cache)
+        with that path's unit cost, per-message overhead and transfer
+        energy scaled, mirroring
+        :meth:`repro.simcore.interconnect.InterconnectSpec.degraded`.
+        The vectorized lookup tables are invalidated explicitly because
+        their stamp only tracks κ/frequency drift, not the
+        communication table.
+        """
+        if factor <= 0:
+            raise ConfigurationError("degradation factor must be positive")
+        table = self.communication
+        unit = dict(table.unit_cost_us_per_byte)
+        overhead = dict(table.message_overhead_us)
+        energy = dict(table.message_energy_uj or {})
+        if path in unit:
+            unit[path] *= factor
+        if path in overhead:
+            overhead[path] *= factor
+        if path in energy:
+            energy[path] *= factor
+        self.communication = CommunicationTable(
+            unit_cost_us_per_byte=unit,
+            message_overhead_us=overhead,
+            message_energy_uj=energy or None,
+        )
+        self._table_cache = None
 
     def _core_frequency(self, core_id: int) -> Optional[float]:
         if self.frequency_map is None:

@@ -26,8 +26,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.control.controller import ControllerConfig, SessionController
+from repro.control.session import finalize_session_health
 from repro.core.scheduler import Scheduler
 from repro.errors import ConfigurationError
+from repro.obs.health import SessionHealth
+from repro.obs.residuals import TelemetryCollector
 from repro.faults.model import (
     BatchCorruption,
     CoreFailure,
@@ -133,6 +136,9 @@ class ChaosComparison:
     adaptive_recovery_us: Optional[float]
     controller_events: Tuple
     failover_events: Tuple
+    #: residual-attribution health report of the adaptive arm (None
+    #: when the session ran with ``telemetry=False``)
+    health: Optional[SessionHealth] = None
 
     def energy_overhead(self, arm_energy: float) -> float:
         """Relative energy cost of surviving the fault vs fault-free."""
@@ -230,12 +236,18 @@ def run_chaos_session(
     harness=None,
     spec: ChaosSpec = ChaosSpec(),
     trace=None,
+    telemetry: bool = True,
 ) -> ChaosComparison:
     """Run one fault scenario and compare the three arms.
 
     ``trace`` (a :class:`~repro.obs.trace.TraceRecorder`) is attached to
     the *adaptive faulted* session only — the run whose fault, failover
-    and retry events are worth inspecting.
+    and retry events are worth inspecting. ``telemetry`` (default on:
+    chaos sessions exist to be diagnosed) runs the adaptive arm with a
+    residual-ledger collector, which both fills
+    :attr:`ChaosComparison.health` and arms the controller's
+    ``reason="diagnosis"`` replan path — the only path that can see the
+    signal-free interconnect-degradation and batch-corruption faults.
     """
     if harness is None:
         from repro.bench.harness import default_harness
@@ -280,9 +292,9 @@ def run_chaos_session(
             fault_plan=fault_plan if with_faults else None,
         )
 
-    def _run(config, controller, recorder=None) -> SessionResult:
+    def _run(config, controller, recorder=None, collector=None) -> SessionResult:
         return PipelineExecutor(
-            harness.board, config, trace=recorder
+            harness.board, config, trace=recorder, telemetry=collector
         ).run_session(
             static_plan,
             stream,
@@ -310,7 +322,16 @@ def run_chaos_session(
         config=spec.controller,
         plan=static_plan,
     )
-    adaptive_result = _run(_config(True), controller, recorder=trace)
+    collector = TelemetryCollector() if telemetry else None
+    adaptive_result = _run(
+        _config(True), controller, recorder=trace, collector=collector
+    )
+    health = None
+    if collector is not None:
+        health = finalize_session_health(
+            controller, collector, adaptive_result, batch_bytes,
+            label=f"chaos:{spec.scenario}",
+        )
 
     def _summarize(result: SessionResult) -> Tuple[float, int, int]:
         measured = result.measured(spec.warmup_batches)
@@ -351,4 +372,5 @@ def run_chaos_session(
         ),
         controller_events=tuple(controller.events),
         failover_events=tuple(controller.failovers),
+        health=health,
     )

@@ -20,13 +20,32 @@ real hardware:
 * :mod:`~repro.obs.export` — Chrome trace-event / Perfetto JSON export
   (open the file in https://ui.perfetto.dev or ``chrome://tracing``).
 * :mod:`~repro.obs.registry` — a process-wide metrics registry (wall
-  clock timers + counters) used by the scheduler search, the result
-  cache and the harness to expose where *real* time goes.
+  clock timers + counters + sample series with total-edge-case
+  percentiles) used by the scheduler search, the result cache and the
+  harness to expose where *real* time goes.
+* :mod:`~repro.obs.residuals` — the model-vs-measured residual ledger:
+  per-window decomposition of the latency/energy residual to
+  stage × core × interconnect-path components, with EWMA baselines and
+  seeded deterministic anomaly scoring. The same zero-overhead
+  contract as tracing: every executor hook is behind an
+  ``if telemetry is not None`` guard (lint rule CSA009).
+* :mod:`~repro.obs.health` — :class:`~repro.obs.health.SessionHealth`
+  reports naming the most-implicated component per window (degraded
+  link, retry-heavy stage, underperforming core) with confidence; the
+  controller consumes these as its ``reason="diagnosis"`` trigger.
+* :mod:`~repro.obs.live` — live telemetry export: NDJSON tail
+  (``cstream top``) and Prometheus-style text exposition.
 * :mod:`~repro.obs.check` — a dependency-free validator for the
-  exported trace files (used by CI on the traced smoke run).
+  exported trace files and health reports (used by CI on the traced
+  smoke run and the chaos health artifact).
 """
 
-from repro.obs.registry import REGISTRY, MetricsRegistry, diff_snapshots
+from repro.obs.registry import (
+    REGISTRY,
+    MetricsRegistry,
+    diff_snapshots,
+    quantile,
+)
 from repro.obs.trace import (
     TraceEvent,
     TraceRecorder,
@@ -35,16 +54,36 @@ from repro.obs.trace import (
     set_active_recorder,
 )
 from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.residuals import (
+    LedgerConfig,
+    ResidualLedger,
+    TelemetryCollector,
+    WindowTelemetry,
+)
+from repro.obs.health import Attribution, SessionHealth, WindowHealth
+from repro.obs.live import NdjsonTail, prometheus_text, read_ndjson, render_top
 
 __all__ = [
+    "Attribution",
+    "LedgerConfig",
     "MetricsRegistry",
+    "NdjsonTail",
     "REGISTRY",
+    "ResidualLedger",
+    "SessionHealth",
+    "TelemetryCollector",
     "TraceEvent",
     "TraceRecorder",
     "TraceSummary",
+    "WindowHealth",
+    "WindowTelemetry",
     "active_recorder",
     "chrome_trace",
     "diff_snapshots",
+    "prometheus_text",
+    "quantile",
+    "read_ndjson",
+    "render_top",
     "set_active_recorder",
     "write_chrome_trace",
 ]

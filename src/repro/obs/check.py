@@ -1,13 +1,18 @@
-"""Validate an exported trace file against the trace-event schema.
+"""Validate exported trace files and session health reports.
 
 Dependency-free checker for the Chrome trace-event JSON written by
-:func:`repro.obs.export.write_chrome_trace` — CI runs it on the traced
-smoke cell before uploading the trace as an artifact::
+:func:`repro.obs.export.write_chrome_trace` and for the session health
+reports of :mod:`repro.obs.health` — CI runs it on the traced smoke
+cell and on the chaos health artifact before uploading either::
 
     python -m repro.obs.check trace.json
+    python -m repro.obs.check --health health.json
+    python -m repro.obs.check --health health.ndjsonl
 
-Exit status 0 means the file is a loadable trace with well-formed
-events; 1 lists every violation found. The checks come in two layers:
+``--health`` accepts either a full ``SessionHealth`` JSON document or
+an NDJSON tail of per-window records. Exit status 0 means the file is
+a loadable trace with well-formed events; 1 lists every violation
+found. The trace checks come in two layers:
 
 * **schema** — what Perfetto and ``chrome://tracing`` require to render
   the file: known phases, numeric non-negative timestamps/durations,
@@ -24,13 +29,14 @@ events; 1 lists every violation found. The checks come in two layers:
 from __future__ import annotations
 
 import json
+import math
 import numbers
 import sys
 from typing import Any, List
 
-from repro.analysis.verify import verify_chrome_payload
+from repro.analysis.verify import verify_chrome_payload, verify_health
 
-__all__ = ["validate_trace", "main"]
+__all__ = ["validate_trace", "validate_health", "main"]
 
 #: phases the exporter emits (subset of the full trace-event spec)
 _KNOWN_PHASES = {"X", "i", "C", "M"}
@@ -105,12 +111,207 @@ def validate_trace(payload: Any) -> List[str]:
     return problems
 
 
+#: exact field sets of the health-report schema (version 1); the
+#: validator rejects both missing and unexpected keys so schema drift
+#: between writer and checker cannot pass silently.
+_HEALTH_SESSION_FIELDS = {
+    "schema_version", "label", "board",
+    "latency_constraint_us_per_byte", "windows",
+}
+_HEALTH_WINDOW_FIELDS = {
+    "window_index",
+    "measured_latency_us_per_byte", "predicted_latency_us_per_byte",
+    "latency_residual_us_per_byte",
+    "measured_energy_uj_per_byte", "predicted_energy_uj_per_byte",
+    "energy_residual_uj_per_byte",
+    "components", "unattributed_us_per_byte",
+    "violated", "anomalous", "attribution",
+}
+_HEALTH_COMPONENT_FIELDS = {"kind", "key", "residual_us_per_byte", "score"}
+_HEALTH_ATTRIBUTION_FIELDS = {
+    "kind", "key", "score", "residual_us_per_byte", "confidence",
+}
+_COMPONENT_KINDS = {"core", "path", "retry"}
+
+
+def _finite(value: Any) -> bool:
+    return (
+        isinstance(value, numbers.Real)
+        and not isinstance(value, bool)
+        and math.isfinite(float(value))
+    )
+
+
+def _check_fields(
+    where: str, record: Any, expected: set, problems: List[str]
+) -> bool:
+    if not isinstance(record, dict):
+        problems.append(f"{where}: not an object")
+        return False
+    missing = expected - record.keys()
+    extra = record.keys() - expected
+    for name in sorted(missing):
+        problems.append(f"{where}: missing field {name!r}")
+    for name in sorted(extra):
+        problems.append(f"{where}: unexpected field {name!r}")
+    return not missing
+
+
+def _check_health_window(index: int, window: Any, problems: List[str]) -> None:
+    where = f"windows[{index}]"
+    if not _check_fields(where, window, _HEALTH_WINDOW_FIELDS, problems):
+        return
+    if not isinstance(window["window_index"], int) or isinstance(
+        window["window_index"], bool
+    ):
+        problems.append(f"{where}: 'window_index' must be an integer")
+    for name in (
+        "measured_latency_us_per_byte", "predicted_latency_us_per_byte",
+        "latency_residual_us_per_byte", "measured_energy_uj_per_byte",
+        "predicted_energy_uj_per_byte", "energy_residual_uj_per_byte",
+        "unattributed_us_per_byte",
+    ):
+        if not _finite(window[name]):
+            problems.append(f"{where}: {name!r} must be a finite number")
+    for name in ("violated", "anomalous"):
+        if not isinstance(window[name], bool):
+            problems.append(f"{where}: {name!r} must be a boolean")
+    components = window["components"]
+    if not isinstance(components, list):
+        problems.append(f"{where}: 'components' must be an array")
+    else:
+        for c_index, component in enumerate(components):
+            c_where = f"{where}.components[{c_index}]"
+            if not _check_fields(
+                c_where, component, _HEALTH_COMPONENT_FIELDS, problems
+            ):
+                continue
+            if component["kind"] not in _COMPONENT_KINDS:
+                problems.append(
+                    f"{c_where}: unknown kind {component['kind']!r}")
+            if not isinstance(component["key"], str) or not component["key"]:
+                problems.append(f"{c_where}: 'key' must be a non-empty string")
+            for name in ("residual_us_per_byte", "score"):
+                if not _finite(component[name]):
+                    problems.append(
+                        f"{c_where}: {name!r} must be a finite number")
+    attribution = window["attribution"]
+    if attribution is not None and _check_fields(
+        f"{where}.attribution", attribution,
+        _HEALTH_ATTRIBUTION_FIELDS, problems,
+    ):
+        a_where = f"{where}.attribution"
+        if attribution["kind"] not in _COMPONENT_KINDS:
+            problems.append(
+                f"{a_where}: unknown kind {attribution['kind']!r}")
+        if (
+            not isinstance(attribution["key"], str)
+            or not attribution["key"]
+        ):
+            problems.append(f"{a_where}: 'key' must be a non-empty string")
+        for name in ("score", "residual_us_per_byte", "confidence"):
+            if not _finite(attribution[name]):
+                problems.append(
+                    f"{a_where}: {name!r} must be a finite number")
+
+
+def validate_health(payload: Any) -> List[str]:
+    """All schema violations in a parsed health report (empty = valid).
+
+    Accepts either a full session report (object with ``windows``) or a
+    single per-window NDJSON record. Schema problems are reported
+    first; when the shape is sound the arithmetic invariants
+    (``HLT001``-``HLT003``) are delegated to
+    :func:`repro.analysis.verify.verify_health` so the two tools cannot
+    drift.
+    """
+    problems: List[str] = []
+    if isinstance(payload, dict) and "windows" not in payload:
+        # A lone NDJSON window record.
+        _check_health_window(0, payload, problems)
+        if not problems:
+            for finding in verify_health({"windows": [payload]}):
+                if finding.severity == "error":
+                    problems.append(finding.format())
+        return problems
+    if not _check_fields(
+        "top level", payload, _HEALTH_SESSION_FIELDS, problems
+    ):
+        return problems
+    if not isinstance(payload["schema_version"], int):
+        problems.append("top level: 'schema_version' must be an integer")
+    for name in ("label", "board"):
+        if not isinstance(payload[name], str) or not payload[name]:
+            problems.append(f"top level: {name!r} must be a non-empty string")
+    if not _finite(payload["latency_constraint_us_per_byte"]):
+        problems.append(
+            "top level: 'latency_constraint_us_per_byte' must be a "
+            "finite number")
+    windows = payload["windows"]
+    if not isinstance(windows, list):
+        return problems + ["top level: 'windows' must be an array"]
+    for index, window in enumerate(windows):
+        _check_health_window(index, window, problems)
+    if not problems:
+        for finding in verify_health(payload):
+            if finding.severity == "error":
+                problems.append(finding.format())
+    return problems
+
+
+def _load_health(path: str) -> Any:
+    with open(path, "r", encoding="utf-8") as source:
+        text = source.read()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        # Fall back to an NDJSON tail of per-window records.
+        records = [
+            json.loads(line)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        if not records:
+            raise
+        return records
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    health_mode = "--health" in argv
+    if health_mode:
+        argv.remove("--health")
     if len(argv) != 1:
-        print("usage: python -m repro.obs.check TRACE.json", file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.check [--health] FILE.json",
+            file=sys.stderr,
+        )
         return 2
     path = argv[0]
+    if health_mode:
+        try:
+            payload = _load_health(path)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"{path}: unreadable health report: {error}",
+                  file=sys.stderr)
+            return 1
+        if isinstance(payload, list):
+            problems = []
+            for index, record in enumerate(payload):
+                for problem in validate_health(record):
+                    problems.append(f"line {index + 1}: {problem}")
+            count = len(payload)
+        else:
+            problems = validate_health(payload)
+            count = len(payload.get("windows", []) or [])
+        if problems:
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+            print(f"{path}: INVALID ({len(problems)} problems)",
+                  file=sys.stderr)
+            return 1
+        print(f"{path}: OK ({count} windows)")
+        return 0
     try:
         with open(path, "r", encoding="utf-8") as source:
             payload = json.load(source)

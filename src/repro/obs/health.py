@@ -1,0 +1,263 @@
+"""Session health reports built from the residual ledger.
+
+A :class:`SessionHealth` is the operator-facing summary of one windowed
+session: per window, the measured-vs-predicted latency and energy, the
+attributed residual, and — when a component's anomaly score clears the
+threshold — a named culprit (:class:`Attribution`): a degraded
+interconnect path, a retry-heavy stage, or an underperforming core.
+
+The report round-trips through JSON (``to_json``/``from_json``) and is
+what :mod:`repro.obs.check` validates and :mod:`repro.obs.live` streams;
+:mod:`repro.analysis.verify` enforces its arithmetic (HLT001-003).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.residuals import WindowResidual
+
+__all__ = [
+    "HEALTH_SCHEMA_VERSION",
+    "Attribution",
+    "WindowHealth",
+    "SessionHealth",
+    "build_window_health",
+]
+
+HEALTH_SCHEMA_VERSION = 1
+
+#: anomaly score above which a window's top component is named
+DEFAULT_ANOMALY_THRESHOLD = 3.0
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """The component a window's residual is pinned on."""
+
+    #: "path" (degraded link), "retry" (retry-heavy stage), "core"
+    kind: str
+    #: path class ("c1"), stage index ("2"), or core id ("4")
+    key: str
+    score: float
+    #: residual the component carries, µs/byte
+    residual_us_per_byte: float
+    #: score separation from the runner-up, in (0, 1]
+    confidence: float
+
+    def describe(self) -> str:
+        if self.kind == "path":
+            return f"degraded link {self.key}"
+        if self.kind == "retry":
+            return f"retry-heavy stage s{self.key}"
+        return f"underperforming core {self.key}"
+
+
+@dataclass(frozen=True)
+class WindowHealth:
+    """One window's health record (one NDJSON line when streamed)."""
+
+    window_index: int
+    measured_latency_us_per_byte: float
+    predicted_latency_us_per_byte: float
+    latency_residual_us_per_byte: float
+    measured_energy_uj_per_byte: float
+    predicted_energy_uj_per_byte: float
+    energy_residual_uj_per_byte: float
+    #: per-component residual slices, (kind, key, residual, score)
+    components: Tuple[Tuple[str, str, float, float], ...]
+    unattributed_us_per_byte: float
+    #: window violated the latency SLO on a steady batch
+    violated: bool
+    anomalous: bool
+    attribution: Optional[Attribution]
+
+    def to_record(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "window_index": self.window_index,
+            "measured_latency_us_per_byte": self.measured_latency_us_per_byte,
+            "predicted_latency_us_per_byte": self.predicted_latency_us_per_byte,
+            "latency_residual_us_per_byte": self.latency_residual_us_per_byte,
+            "measured_energy_uj_per_byte": self.measured_energy_uj_per_byte,
+            "predicted_energy_uj_per_byte": self.predicted_energy_uj_per_byte,
+            "energy_residual_uj_per_byte": self.energy_residual_uj_per_byte,
+            "components": [
+                {"kind": kind, "key": key, "residual_us_per_byte": residual,
+                 "score": score}
+                for kind, key, residual, score in self.components
+            ],
+            "unattributed_us_per_byte": self.unattributed_us_per_byte,
+            "violated": self.violated,
+            "anomalous": self.anomalous,
+            "attribution": None,
+        }
+        if self.attribution is not None:
+            record["attribution"] = {
+                "kind": self.attribution.kind,
+                "key": self.attribution.key,
+                "score": self.attribution.score,
+                "residual_us_per_byte":
+                    self.attribution.residual_us_per_byte,
+                "confidence": self.attribution.confidence,
+            }
+        return record
+
+    @staticmethod
+    def from_record(record: Dict[str, object]) -> "WindowHealth":
+        attribution = None
+        raw = record.get("attribution")
+        if raw is not None:
+            attribution = Attribution(
+                kind=str(raw["kind"]),
+                key=str(raw["key"]),
+                score=float(raw["score"]),
+                residual_us_per_byte=float(raw["residual_us_per_byte"]),
+                confidence=float(raw["confidence"]),
+            )
+        return WindowHealth(
+            window_index=int(record["window_index"]),
+            measured_latency_us_per_byte=float(
+                record["measured_latency_us_per_byte"]),
+            predicted_latency_us_per_byte=float(
+                record["predicted_latency_us_per_byte"]),
+            latency_residual_us_per_byte=float(
+                record["latency_residual_us_per_byte"]),
+            measured_energy_uj_per_byte=float(
+                record["measured_energy_uj_per_byte"]),
+            predicted_energy_uj_per_byte=float(
+                record["predicted_energy_uj_per_byte"]),
+            energy_residual_uj_per_byte=float(
+                record["energy_residual_uj_per_byte"]),
+            components=tuple(
+                (str(c["kind"]), str(c["key"]),
+                 float(c["residual_us_per_byte"]), float(c["score"]))
+                for c in record["components"]
+            ),
+            unattributed_us_per_byte=float(
+                record["unattributed_us_per_byte"]),
+            violated=bool(record["violated"]),
+            anomalous=bool(record["anomalous"]),
+            attribution=attribution,
+        )
+
+
+def build_window_health(
+    residual: WindowResidual,
+    violated: bool,
+    threshold: float = DEFAULT_ANOMALY_THRESHOLD,
+) -> WindowHealth:
+    """Fold one ledger window into a health record.
+
+    The window is *anomalous* when its top-scoring component clears
+    ``threshold``; the attribution's confidence is the relative score
+    gap to the runner-up (1.0 when there is none), so two components
+    racing each other read as low-confidence.
+    """
+    ranked = sorted(
+        residual.components, key=lambda c: c.score, reverse=True
+    )
+    attribution = None
+    anomalous = bool(ranked) and ranked[0].score >= threshold
+    if anomalous:
+        top = ranked[0]
+        runner_up = ranked[1].score if len(ranked) > 1 else 0.0
+        confidence = 1.0 - max(runner_up, 0.0) / top.score
+        attribution = Attribution(
+            kind=top.kind,
+            key=top.key,
+            score=top.score,
+            residual_us_per_byte=top.residual_us_per_byte,
+            confidence=max(min(confidence, 1.0), 0.0),
+        )
+    return WindowHealth(
+        window_index=residual.window_index,
+        measured_latency_us_per_byte=residual.measured_latency_us_per_byte,
+        predicted_latency_us_per_byte=residual.predicted_latency_us_per_byte,
+        latency_residual_us_per_byte=residual.latency_residual_us_per_byte,
+        measured_energy_uj_per_byte=residual.measured_energy_uj_per_byte,
+        predicted_energy_uj_per_byte=residual.predicted_energy_uj_per_byte,
+        energy_residual_uj_per_byte=residual.energy_residual_uj_per_byte,
+        components=tuple(
+            (c.kind, c.key, c.residual_us_per_byte, c.score)
+            for c in residual.components
+        ),
+        unattributed_us_per_byte=residual.unattributed_us_per_byte,
+        violated=violated,
+        anomalous=anomalous,
+        attribution=attribution,
+    )
+
+
+@dataclass(frozen=True)
+class SessionHealth:
+    """Whole-session health report: the windows plus identity."""
+
+    label: str
+    board: str
+    latency_constraint_us_per_byte: float
+    windows: Tuple[WindowHealth, ...]
+    schema_version: int = HEALTH_SCHEMA_VERSION
+
+    def dominant(self) -> Optional[Attribution]:
+        """The highest-scoring attribution across all windows."""
+        best: Optional[Attribution] = None
+        for window in self.windows:
+            a = window.attribution
+            if a is not None and (best is None or a.score > best.score):
+                best = a
+        return best
+
+    def anomalous_windows(self) -> Tuple[WindowHealth, ...]:
+        return tuple(w for w in self.windows if w.anomalous)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "schema_version": self.schema_version,
+            "label": self.label,
+            "board": self.board,
+            "latency_constraint_us_per_byte":
+                self.latency_constraint_us_per_byte,
+            "windows": [w.to_record() for w in self.windows],
+        }, indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "SessionHealth":
+        payload = json.loads(text)
+        return SessionHealth(
+            label=str(payload["label"]),
+            board=str(payload["board"]),
+            latency_constraint_us_per_byte=float(
+                payload["latency_constraint_us_per_byte"]),
+            windows=tuple(
+                WindowHealth.from_record(w) for w in payload["windows"]
+            ),
+            schema_version=int(payload["schema_version"]),
+        )
+
+    def finite(self) -> bool:
+        """True when every numeric field in the report is finite."""
+        for window in self.windows:
+            values: List[float] = [
+                window.measured_latency_us_per_byte,
+                window.predicted_latency_us_per_byte,
+                window.latency_residual_us_per_byte,
+                window.measured_energy_uj_per_byte,
+                window.predicted_energy_uj_per_byte,
+                window.energy_residual_uj_per_byte,
+                window.unattributed_us_per_byte,
+            ]
+            for _kind, _key, residual, score in window.components:
+                values.append(residual)
+                values.append(score)
+            if window.attribution is not None:
+                values.extend([
+                    window.attribution.score,
+                    window.attribution.residual_us_per_byte,
+                    window.attribution.confidence,
+                ])
+            if not all(math.isfinite(v) for v in values):
+                return False
+        return math.isfinite(self.latency_constraint_us_per_byte)

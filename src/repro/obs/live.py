@@ -1,0 +1,205 @@
+"""Live session telemetry: NDJSON tail + Prometheus-style exposition.
+
+Two export surfaces over the health stream of :mod:`repro.obs.health`:
+
+* :class:`NdjsonTail` — appends one JSON object per window to a file as
+  the session runs; ``cstream top FILE`` tails it back into a terminal
+  live view (:func:`render_top`). NDJSON is the exchange format: the
+  same lines round-trip into :class:`~repro.obs.health.WindowHealth`
+  via :func:`read_ndjson`.
+* :func:`prometheus_text` — renders the latest state of a session (and
+  optionally a :class:`~repro.obs.registry.MetricsRegistry` snapshot)
+  in the Prometheus text exposition format, for scraping off a file or
+  one-shot endpoint.
+
+Everything here is pull/append-only and allocation-light; none of it is
+imported by the runtime unless telemetry is switched on, preserving the
+zero-overhead-when-off contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Sequence
+
+from repro.obs.health import SessionHealth, WindowHealth
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "NdjsonTail",
+    "read_ndjson",
+    "prometheus_text",
+    "render_top",
+]
+
+
+class NdjsonTail:
+    """Append-only NDJSON writer for per-window health records."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+
+    def emit(self, window: WindowHealth) -> None:
+        self._stream.write(
+            json.dumps(window.to_record(), sort_keys=True) + "\n"
+        )
+        self._stream.flush()
+
+    def emit_session(self, health: SessionHealth) -> None:
+        for window in health.windows:
+            self.emit(window)
+
+
+def read_ndjson(lines: Iterable[str]) -> List[WindowHealth]:
+    """Parse an NDJSON tail back into health records.
+
+    Blank lines are skipped so a partially written tail (or a trailing
+    newline) parses cleanly.
+    """
+    records: List[WindowHealth] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        records.append(WindowHealth.from_record(json.loads(line)))
+    return records
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def prometheus_text(
+    health: SessionHealth,
+    registry: Optional[MetricsRegistry] = None,
+) -> str:
+    """Prometheus text-format exposition of a session's latest state.
+
+    Gauges carry the last window's values; counters accumulate across
+    the session. When ``registry`` is given, its counters and timers
+    are appended under the ``cstream_registry_`` prefix.
+    """
+    label = _prom_escape(health.label)
+    lines: List[str] = []
+
+    def gauge(name: str, help_text: str, value: float,
+              extra: str = "") -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        tags = f'session="{label}"' + (f",{extra}" if extra else "")
+        lines.append(f"{name}{{{tags}}} {value:.9g}")
+
+    gauge(
+        "cstream_latency_constraint_us_per_byte",
+        "Session latency SLO (L_set), microseconds per byte.",
+        health.latency_constraint_us_per_byte,
+    )
+    if health.windows:
+        last = health.windows[-1]
+        gauge(
+            "cstream_window_latency_us_per_byte",
+            "Measured p-latency of the most recent window.",
+            last.measured_latency_us_per_byte,
+        )
+        gauge(
+            "cstream_window_latency_residual_us_per_byte",
+            "Model-vs-measured latency residual of the most recent window.",
+            last.latency_residual_us_per_byte,
+        )
+        gauge(
+            "cstream_window_energy_uj_per_byte",
+            "Measured dynamic energy of the most recent window.",
+            last.measured_energy_uj_per_byte,
+        )
+    violated = sum(1 for w in health.windows if w.violated)
+    anomalous = sum(1 for w in health.windows if w.anomalous)
+    lines.append(
+        "# HELP cstream_windows_total Windows observed this session.")
+    lines.append("# TYPE cstream_windows_total counter")
+    lines.append(
+        f'cstream_windows_total{{session="{label}"}} {len(health.windows)}')
+    lines.append(
+        "# HELP cstream_windows_violated_total Windows that violated "
+        "the latency SLO.")
+    lines.append("# TYPE cstream_windows_violated_total counter")
+    lines.append(
+        f'cstream_windows_violated_total{{session="{label}"}} {violated}')
+    lines.append(
+        "# HELP cstream_windows_anomalous_total Windows with an "
+        "anomalous residual attribution.")
+    lines.append("# TYPE cstream_windows_anomalous_total counter")
+    lines.append(
+        f'cstream_windows_anomalous_total{{session="{label}"}} {anomalous}')
+    dominant = health.dominant()
+    if dominant is not None:
+        lines.append(
+            "# HELP cstream_health_attribution_score Anomaly score of "
+            "the session's dominant attribution.")
+        lines.append("# TYPE cstream_health_attribution_score gauge")
+        lines.append(
+            f'cstream_health_attribution_score{{session="{label}",'
+            f'kind="{_prom_escape(dominant.kind)}",'
+            f'key="{_prom_escape(dominant.key)}"}} {dominant.score:.9g}')
+
+    if registry is not None:
+        snapshot = registry.snapshot()
+        for name in sorted(snapshot.get("counters", {})):
+            metric = "cstream_registry_" + name.replace(".", "_")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {snapshot['counters'][name]:.9g}")
+        for name in sorted(snapshot.get("timers", {})):
+            entry = snapshot["timers"][name]
+            metric = "cstream_registry_" + name.replace(".", "_")
+            lines.append(f"# TYPE {metric}_seconds summary")
+            lines.append(f"{metric}_seconds_count {entry['count']}")
+            lines.append(f"{metric}_seconds_sum {entry['total_s']:.9g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_top(
+    windows: Sequence[WindowHealth],
+    latency_constraint_us_per_byte: Optional[float] = None,
+    limit: int = 12,
+) -> str:
+    """``cstream top``-style terminal view over a health stream."""
+    header = (
+        f"{'win':>4} {'measured':>10} {'predicted':>10} "
+        f"{'residual':>10} {'slo':>4} {'health':<28}"
+    )
+    rule = "-" * len(header)
+    rows: List[str] = [header, rule]
+    for window in list(windows)[-limit:]:
+        if window.violated:
+            slo = "VIOL"
+        elif (
+            latency_constraint_us_per_byte is not None
+            and window.measured_latency_us_per_byte
+            > latency_constraint_us_per_byte
+        ):
+            slo = "edge"
+        else:
+            slo = "ok"
+        if window.attribution is not None:
+            health = (
+                f"{window.attribution.describe()} "
+                f"(score {window.attribution.score:.1f}, "
+                f"conf {window.attribution.confidence:.2f})"
+            )
+        elif window.anomalous:
+            health = "anomalous"
+        else:
+            health = "nominal"
+        rows.append(
+            f"{window.window_index:>4} "
+            f"{window.measured_latency_us_per_byte:>10.4f} "
+            f"{window.predicted_latency_us_per_byte:>10.4f} "
+            f"{window.latency_residual_us_per_byte:>+10.4f} "
+            f"{slo:>4} {health:<28}"
+        )
+    violated = sum(1 for w in windows if w.violated)
+    anomalous = sum(1 for w in windows if w.anomalous)
+    rows.append(rule)
+    rows.append(
+        f"windows={len(windows)} violated={violated} anomalous={anomalous}"
+    )
+    return "\n".join(rows)

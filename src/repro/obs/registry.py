@@ -22,9 +22,32 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["MetricsRegistry", "REGISTRY", "diff_snapshots"]
+__all__ = ["MetricsRegistry", "REGISTRY", "diff_snapshots", "quantile"]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile with total edge-case coverage.
+
+    The registry's percentile queries historically assumed callers
+    guarded against short series; this helper owns the edges instead:
+    an empty series is defined as 0.0 (a percentile of nothing is no
+    time at all), a single sample is its own every-percentile, and
+    ``q`` is clamped into [0, 1] rather than raising on float fuzz like
+    ``1.0000000000000002`` from upstream arithmetic.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    q = min(max(q, 0.0), 1.0)
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
 class MetricsRegistry:
@@ -35,6 +58,8 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         # name -> [count, total_s, min_s, max_s]
         self._timers: Dict[str, list] = {}
+        # name -> ordered samples (percentile queries)
+        self._series: Dict[str, List[float]] = {}
 
     # -- counters ------------------------------------------------------------
 
@@ -72,6 +97,32 @@ class MetricsRegistry:
             entry = self._timers.get(name)
             return entry[1] if entry else 0.0
 
+    # -- series --------------------------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        """Append one sample to a named series (for percentile queries)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                self._series[name] = [float(value)]
+            else:
+                series.append(float(value))
+
+    def series(self, name: str) -> List[float]:
+        with self._lock:
+            return list(self._series.get(name, ()))
+
+    def percentile(self, name: str, q: float) -> float:
+        """Quantile ``q`` in [0, 1] of a recorded series.
+
+        Well-defined on every input: an unknown or empty series returns
+        0.0 and a single-sample series returns that sample (see
+        :func:`quantile`), so callers need no length guards.
+        """
+        with self._lock:
+            samples = self._series.get(name, ())
+            return quantile(samples, q)
+
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict]:
@@ -99,6 +150,7 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._timers.clear()
+            self._series.clear()
 
 
 def diff_snapshots(

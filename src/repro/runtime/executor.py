@@ -453,6 +453,10 @@ class WindowObservation:
     failed_cores: Tuple[int, ...] = ()
     #: fault-throttled cores and their capped frequency (MHz)
     throttled_mhz: Tuple[Tuple[int, float], ...] = ()
+    #: the window's :class:`~repro.obs.residuals.WindowTelemetry` when
+    #: the executor was built with a telemetry collector; ``None``
+    #: otherwise (duck-typed — the runtime never imports the obs layer)
+    telemetry: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -532,6 +536,7 @@ class _RepetitionRun:
         self.config = executor.config
         self.board = executor.board
         self.trace = executor.trace
+        self.telemetry = executor.telemetry
         self.batch_bytes = batch_bytes
         self.rng = rng
         self.governor = governor
@@ -766,6 +771,7 @@ class _RepetitionRun:
         config = self.config
         board = self.board
         trace = self.trace
+        telemetry = self.telemetry
         simulator = self.simulator
         meter = self.meter
         servers = self.servers
@@ -868,12 +874,15 @@ class _RepetitionRun:
                         token = yield inbox.get(transient=True)
                         producer_core, transfer_bytes = token[1], token[2]
                         path = board.path_between(producer_core, routed_core)
-                        comm_us += self.interconnect.transfer_latency_us(
+                        hop_us = self.interconnect.transfer_latency_us(
                             path, transfer_bytes
                         )
+                        comm_us += hop_us
                         record_overhead(
                             self.interconnect.message_energy(path)
                         )
+                        if telemetry is not None:
+                            telemetry.comm(path.value, hop_us, batch_index)
                     if comm_us > 0.0:
                         yield simulator.timeout(comm_us, transient=True)
                 cost = stage_costs[batch_index][stage_index]
@@ -982,6 +991,16 @@ class _RepetitionRun:
                                     duration + backoff, transient=True
                                 )
                                 meter.record_overhead(energy_uj)
+                            if telemetry is not None:
+                                telemetry.retry(
+                                    batch_index,
+                                    stage_index,
+                                    ordered_sum(
+                                        duration + backoff
+                                        for backoff in corrupt.backoff_us
+                                    ),
+                                    corrupt.attempts,
+                                )
                         completions[batch_index] = simulator.now
                         if trace is not None:
                             trace.batch_complete(batch_index, simulator.now)
@@ -1041,10 +1060,15 @@ class PipelineExecutor:
         board: BoardSpec,
         config: ExecutionConfig,
         trace: Optional[TraceRecorder] = None,
+        telemetry=None,
     ) -> None:
         self.board = board
         self.config = config
         self.trace = trace
+        #: optional :class:`~repro.obs.residuals.TelemetryCollector`
+        #: (duck-typed); ``None`` keeps every hook site dormant so the
+        #: run stays byte-identical to a pre-telemetry build
+        self.telemetry = telemetry
         self.last_trace: Dict[int, List] = {}
         #: (graph, per_batch_step_costs, merged rows) — see _RepetitionRun
         self._stage_costs_memo = None
@@ -1226,6 +1250,7 @@ class PipelineExecutor:
         rng = np.random.default_rng(config.seed)
         governor = self._make_governor()
         trace = self.trace
+        telemetry = self.telemetry
         if trace is not None:
             set_active_recorder(trace)
             trace.begin_repetition(0)
@@ -1257,6 +1282,12 @@ class PipelineExecutor:
                     # Draining barrier: every task has finished its last
                     # batch of this window before anything is reconfigured.
                     yield run.simulator.all_of(processes)
+                    window_telemetry = None
+                    if telemetry is not None:
+                        window_telemetry = telemetry.collect_window(
+                            window_index, start, count, batch_bytes,
+                            run.servers,
+                        )
                     if controller is None or window_index == len(windows) - 1:
                         continue
                     previous = (
@@ -1280,6 +1311,7 @@ class PipelineExecutor:
                             throttled_mhz=tuple(
                                 sorted(run.fault_throttled.items())
                             ),
+                            telemetry=window_telemetry,
                         )
                     )
                     if decision is None or not decision.replanned:

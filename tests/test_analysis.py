@@ -22,6 +22,7 @@ from repro.analysis.verify import (
     INVARIANTS,
     iter_recorder_events,
     verify_chrome_payload,
+    verify_health,
     verify_plan,
     verify_trace_events,
 )
@@ -333,10 +334,55 @@ class TestCSA008FilesystemOrder:
         ) == []
 
 
+class TestCSA009UnguardedTelemetryHook:
+    def test_unguarded_hook(self):
+        found = lint_strict("telemetry.comm('c1', 7.5, 0)\n")
+        assert codes(found) == ["CSA009"]
+
+    def test_unguarded_attribute_receiver(self):
+        found = lint_strict(
+            "def f(self):\n"
+            "    self.collector.retry(0, 1, 40.0, 2)\n"
+        )
+        assert codes(found) == ["CSA009"]
+
+    def test_guarded_hook_clean(self):
+        assert lint_strict(
+            "if telemetry is not None:\n"
+            "    telemetry.comm('c1', 7.5, 0)\n"
+        ) == []
+
+    def test_guarded_attribute_clean(self):
+        assert lint_strict(
+            "def f(self):\n"
+            "    if self.collector is not None:\n"
+            "        self.collector.collect_window(0, 0, 3, 8192, {})\n"
+        ) == []
+
+    def test_wrong_guard_still_fires(self):
+        found = lint_strict(
+            "if other is not None:\n"
+            "    telemetry.retry(0, 1, 40.0, 2)\n"
+        )
+        assert codes(found) == ["CSA009"]
+
+    def test_non_telemetry_receiver_clean(self):
+        # `retry`-named methods on non-telemetry objects are not hooks
+        assert lint_strict("client.retry(0, 1, 40.0, 2)\n") == []
+
+    def test_lenient_package_clean(self):
+        assert lint_lenient("telemetry.comm('c1', 7.5, 0)\n") == []
+
+    def test_suppressed(self):
+        assert lint_strict(
+            "telemetry.comm('c1', 7.5, 0)  # csa: ignore[CSA009]\n"
+        ) == []
+
+
 class TestLinterMachinery:
-    def test_rule_table_has_eight_rules(self):
-        assert len(RULES) == 8
-        assert sorted(RULES) == [f"CSA00{i}" for i in range(1, 9)]
+    def test_rule_table_has_nine_rules(self):
+        assert len(RULES) == 9
+        assert sorted(RULES) == [f"CSA00{i}" for i in range(1, 10)]
 
     def test_multi_code_suppression(self):
         assert lint_strict(
@@ -409,8 +455,9 @@ def two_stage_plan(steps0, steps1, assignments):
 
 class TestPlanInvariants:
     def test_invariant_table(self):
-        assert len(INVARIANTS) == 12
+        assert len(INVARIANTS) == 15
         assert sum(1 for code in INVARIANTS if code.startswith("PLN")) == 5
+        assert sum(1 for code in INVARIANTS if code.startswith("HLT")) == 3
 
     def test_pln001_cyclic_plan(self):
         # t0 runs s1, t1 runs s0 — the pipeline order contradicts the
@@ -771,3 +818,92 @@ class TestOrderedSum:
 
     def test_consumes_generators(self):
         assert ordered_sum(x * 0.5 for x in range(4)) == 3.0
+
+
+def health_window(**overrides):
+    window = {
+        "window_index": 0,
+        "measured_latency_us_per_byte": 24.0,
+        "predicted_latency_us_per_byte": 20.0,
+        "latency_residual_us_per_byte": 4.0,
+        "measured_energy_uj_per_byte": 0.4,
+        "predicted_energy_uj_per_byte": 0.35,
+        "energy_residual_uj_per_byte": 0.05,
+        "components": [
+            {"kind": "path", "key": "c1",
+             "residual_us_per_byte": 3.5, "score": 9.0},
+        ],
+        "unattributed_us_per_byte": 0.5,
+        "violated": True,
+        "anomalous": True,
+        "attribution": {
+            "kind": "path", "key": "c1", "score": 9.0,
+            "residual_us_per_byte": 3.5, "confidence": 1.0,
+        },
+    }
+    window.update(overrides)
+    return window
+
+
+def health_payload(*windows):
+    return {
+        "schema_version": 1,
+        "label": "test",
+        "board": "test board",
+        "latency_constraint_us_per_byte": 33.0,
+        "windows": list(windows) or [health_window()],
+    }
+
+
+class TestHealthInvariants:
+    def test_clean_report_passes(self):
+        assert verify_health(health_payload()) == []
+
+    def test_hlt001_sum_mismatch(self):
+        findings = verify_health(health_payload(
+            health_window(unattributed_us_per_byte=2.0)
+        ))
+        assert [f.code for f in findings] == ["HLT001"]
+        assert findings[0].severity == "error"
+
+    def test_hlt002_phantom_attribution(self):
+        bad = health_window()
+        bad["attribution"] = dict(bad["attribution"], kind="retry", key="1")
+        findings = verify_health(health_payload(bad))
+        assert "HLT002" in [f.code for f in findings]
+
+    def test_hlt002_unknown_path(self):
+        bad = health_window()
+        bad["components"][0]["key"] = "warp"
+        bad["attribution"] = dict(bad["attribution"], key="warp")
+        findings = verify_health(health_payload(bad))
+        assert [f.code for f in findings] == ["HLT002"]
+
+    def test_hlt002_negative_stage_index(self):
+        bad = health_window()
+        bad["components"][0] = {"kind": "retry", "key": "-1",
+                                "residual_us_per_byte": 3.5, "score": 9.0}
+        bad["attribution"] = dict(bad["attribution"], kind="retry",
+                                  key="-1")
+        findings = verify_health(health_payload(bad))
+        assert [f.code for f in findings] == ["HLT002"]
+
+    def test_hlt003_nonfinite_skips_arithmetic(self):
+        findings = verify_health(health_payload(health_window(
+            latency_residual_us_per_byte=float("inf"),
+            unattributed_us_per_byte=2.0,
+        )))
+        # HLT003 fires; HLT001 is withheld on the same window because
+        # comparing against a non-finite residual is meaningless
+        assert [f.code for f in findings] == ["HLT003"]
+
+    def test_verify_cli_autodetects_health_payload(self, tmp_path, capsys):
+        good = tmp_path / "health.json"
+        good.write_text(json.dumps(health_payload()))
+        assert verify_main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(health_payload(
+            health_window(unattributed_us_per_byte=2.0)
+        )))
+        assert verify_main([str(bad)]) == 1
+        assert "HLT001" in capsys.readouterr().out

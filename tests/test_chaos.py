@@ -273,3 +273,84 @@ class TestGridAndCache:
         )
         assert harness.cache.get(faulted_key) is None
         assert harness.cache.get(clean_key) == "fault-free-result"
+
+
+@pytest.fixture(scope="module")
+def interconnect_run():
+    return run_chaos_session(
+        chaos_harness(), chaos_spec(scenario="interconnect")
+    )
+
+
+@pytest.fixture(scope="module")
+def heavy_corruption_run():
+    return run_chaos_session(
+        chaos_harness(),
+        chaos_spec(scenario="corruption", corruption_probability=0.6),
+    )
+
+
+class TestResidualDiagnosis:
+    """Signal-free faults: no heartbeat, only the residual ledger."""
+
+    def test_interconnect_health_names_degraded_link(self, interconnect_run):
+        health = interconnect_run.health
+        assert health is not None
+        dominant = health.dominant()
+        assert dominant is not None
+        assert dominant.kind == "path"
+        assert dominant.key == "c1"
+        assert dominant.score >= 3.0
+
+    def test_interconnect_diagnosis_replan_beats_static(
+        self, interconnect_run
+    ):
+        assert any(
+            event.reason == "diagnosis"
+            for event in interconnect_run.controller_events
+        )
+        assert interconnect_run.failover_events == ()
+        assert (
+            interconnect_run.adaptive_steady_violations
+            < interconnect_run.static_steady_violations
+        )
+
+    def test_corruption_health_names_retry_stage(self, heavy_corruption_run):
+        health = heavy_corruption_run.health
+        assert health is not None
+        dominant = health.dominant()
+        assert dominant is not None
+        assert dominant.kind == "retry"
+        assert dominant.score >= 3.0
+
+    def test_corruption_diagnosis_replan_beats_static(
+        self, heavy_corruption_run
+    ):
+        assert any(
+            event.reason == "diagnosis"
+            for event in heavy_corruption_run.controller_events
+        )
+        assert (
+            heavy_corruption_run.adaptive_steady_violations
+            < heavy_corruption_run.static_steady_violations
+        )
+
+    def test_health_report_is_schema_and_invariant_clean(
+        self, interconnect_run
+    ):
+        import json
+
+        from repro.analysis.verify import verify_health
+        from repro.obs.check import validate_health
+
+        payload = json.loads(interconnect_run.health.to_json())
+        assert validate_health(payload) == []
+        assert verify_health(payload) == []
+
+    def test_heartbeat_scenarios_stay_heartbeat_driven(self, failure_run):
+        # Telemetry defaults on for chaos sessions, but the core-failure
+        # win must still come from the failover path, not diagnosis.
+        comparison, _ = failure_run
+        assert comparison.health is not None
+        reasons = {e.reason for e in comparison.controller_events}
+        assert "failover" in reasons

@@ -238,3 +238,172 @@ class TestMetricsRegistry:
         registry.reset()
         snapshot = registry.snapshot()
         assert snapshot["counters"] == {} and snapshot["timers"] == {}
+
+    def test_series_quantiles_and_edge_cases(self):
+        from repro.obs import quantile
+
+        registry = MetricsRegistry()
+        # Empty series: a well-defined value, not an IndexError.
+        assert registry.percentile("absent", 0.5) == 0.0
+        assert quantile([], 0.99) == 0.0
+        # Single sample: every quantile is that sample.
+        registry.record("lat", 7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert registry.percentile("lat", q) == 7.0
+        # Interpolation between samples, q clamped to [0, 1].
+        registry.record("lat", 9.0)
+        assert registry.percentile("lat", 0.5) == pytest.approx(8.0)
+        assert registry.percentile("lat", -3.0) == 7.0
+        assert registry.percentile("lat", 42.0) == 9.0
+        assert registry.series("lat") == [7.0, 9.0]
+        registry.reset()
+        assert registry.series("lat") == []
+
+
+def _window_record(index=0, **overrides):
+    record = {
+        "window_index": index,
+        "measured_latency_us_per_byte": 24.0,
+        "predicted_latency_us_per_byte": 20.0,
+        "latency_residual_us_per_byte": 4.0,
+        "measured_energy_uj_per_byte": 0.4,
+        "predicted_energy_uj_per_byte": 0.35,
+        "energy_residual_uj_per_byte": 0.05,
+        "components": [
+            {"kind": "path", "key": "c1",
+             "residual_us_per_byte": 3.5, "score": 9.0},
+            {"kind": "core", "key": "4",
+             "residual_us_per_byte": 0.4, "score": 0.5},
+        ],
+        "unattributed_us_per_byte": 0.1,
+        "violated": True,
+        "anomalous": True,
+        "attribution": {
+            "kind": "path", "key": "c1", "score": 9.0,
+            "residual_us_per_byte": 3.5, "confidence": 0.94,
+        },
+    }
+    record.update(overrides)
+    return record
+
+
+def _session_payload(windows=None):
+    return {
+        "schema_version": 1,
+        "label": "chaos:interconnect",
+        "board": "Radxa RockPi 4a",
+        "latency_constraint_us_per_byte": 33.0,
+        "windows": windows if windows is not None else [_window_record()],
+    }
+
+
+class TestHealthSchema:
+    def test_valid_session_passes(self):
+        from repro.obs.check import validate_health
+
+        assert validate_health(_session_payload()) == []
+
+    def test_missing_field_rejected(self):
+        from repro.obs.check import validate_health
+
+        window = _window_record()
+        del window["violated"]
+        findings = validate_health(_session_payload([window]))
+        assert any("violated" in f for f in findings)
+
+    def test_extra_field_rejected(self):
+        from repro.obs.check import validate_health
+
+        findings = validate_health(
+            _session_payload([_window_record(surprise=1)])
+        )
+        assert any("surprise" in f for f in findings)
+
+    def test_non_finite_residual_rejected(self):
+        from repro.obs.check import validate_health
+
+        bad = _window_record(latency_residual_us_per_byte=float("nan"))
+        findings = validate_health(_session_payload([bad]))
+        assert findings
+        assert any("finite" in f for f in findings)
+
+    def test_unknown_component_kind_rejected(self):
+        from repro.obs.check import validate_health
+
+        window = _window_record()
+        window["components"][0]["kind"] = "gremlin"
+        findings = validate_health(_session_payload([window]))
+        assert any("gremlin" in f for f in findings)
+
+    def test_cli_health_mode(self, tmp_path, capsys):
+        good = tmp_path / "health.json"
+        good.write_text(json.dumps(_session_payload()))
+        assert check_main(["--health", str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        payload = _session_payload([_window_record(surprise=1)])
+        bad.write_text(json.dumps(payload))
+        assert check_main(["--health", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_cli_health_ndjson_lines(self, tmp_path, capsys):
+        tail = tmp_path / "health.ndjson"
+        tail.write_text(
+            json.dumps(_window_record(0)) + "\n"
+            + json.dumps(_window_record(1)) + "\n"
+        )
+        assert check_main(["--health", str(tail)]) == 0
+        capsys.readouterr()
+
+
+class TestHealthRoundTrip:
+    def _session(self):
+        from repro.obs import SessionHealth
+
+        return SessionHealth.from_json(json.dumps(_session_payload(
+            [_window_record(0),
+             _window_record(1, anomalous=False, attribution=None,
+                            violated=False)]
+        )))
+
+    def test_json_round_trip(self):
+        from repro.obs import SessionHealth
+
+        session = self._session()
+        again = SessionHealth.from_json(session.to_json())
+        assert again == session
+        assert again.dominant().key == "c1"
+        assert len(again.anomalous_windows()) == 1
+        assert again.finite()
+
+    def test_ndjson_round_trip(self, tmp_path):
+        import io
+
+        from repro.obs import NdjsonTail, read_ndjson
+
+        session = self._session()
+        buffer = io.StringIO()
+        NdjsonTail(buffer).emit_session(session)
+        windows = read_ndjson(buffer.getvalue().splitlines() + ["", "  "])
+        assert tuple(windows) == session.windows
+
+    def test_prometheus_text_exposes_session_and_registry(self):
+        from repro.obs import prometheus_text
+
+        registry = MetricsRegistry()
+        registry.inc("cells", 3)
+        registry.observe("phase", 0.5)
+        text = prometheus_text(self._session(), registry)
+        assert 'cstream_windows_total{session="chaos:interconnect"} 2' in text
+        assert "cstream_windows_violated_total" in text
+        assert 'kind="path",key="c1"' in text
+        assert "cstream_registry_cells 3" in text
+        assert "cstream_registry_phase_seconds_count 1" in text
+
+    def test_render_top_lists_windows_and_verdict(self):
+        from repro.obs import render_top
+
+        session = self._session()
+        text = render_top(session.windows, 33.0, limit=10)
+        assert "degraded link c1" in text
+        assert "VIOL" in text
+        assert "windows=2 violated=1 anomalous=1" in text
