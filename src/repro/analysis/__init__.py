@@ -1,12 +1,17 @@
 """Static analysis for the CStream reproduction.
 
-Two complementary tools keep the simulator's determinism contract
+Three complementary tools keep the simulator's determinism contract
 honest:
 
 * :mod:`repro.analysis.lint` — an AST-based determinism linter
   (``CSA001``-``CSA008``): wall clocks, unseeded RNGs, set-order
   iteration, mutable defaults, unordered float accumulation, unguarded
   trace hooks, environment reads and unsorted filesystem listings.
+* :mod:`repro.analysis.flow` (with :mod:`repro.analysis.callgraph`) —
+  a whole-program pass: determinism taint propagated over a
+  conservative project call graph (``DET001``-``DET005``) plus a
+  unit-consistency checker over the repo's ``*_us``/``*_mhz``/``*_mj``
+  naming conventions (``CSU001``-``CSU003``).
 * :mod:`repro.analysis.verify` — a plan/trace invariant verifier
   (``PLN001``-``PLN005``, ``TRC001``-``TRC007``): DAG acyclicity, step
   coverage, core-id validity, double-booking, L_set feasibility for
@@ -14,9 +19,10 @@ honest:
   time, monotone energy counters, non-overlapping spans and
   same-timestamp race hazards for exported trace streams.
 
-Both are importable as libraries (``lint_source``/``verify_plan``/
-``verify_trace_events``) and runnable as CLIs; ``cstream analyze``
-fronts them both.
+All are importable as libraries (``lint_source``/``analyze``/
+``build_graph``/``verify_plan``/``verify_trace_events``) and runnable
+as CLIs; ``cstream analyze`` fronts them all (the flow pass behind
+``--deep``).
 
 Attribute access is lazy (PEP 562) so ``python -m repro.analysis.lint``
 does not re-import its own module through the package and the package
@@ -28,12 +34,21 @@ from typing import Any
 _LINT_EXPORTS = frozenset({
     "RULES", "LintFinding", "lint_source", "lint_file", "lint_paths",
 })
+_FLOW_EXPORTS = frozenset({
+    "FLOW_RULES", "FlowFinding", "FlowReport", "analyze", "parse_unit",
+    "format_unit",
+})
+_CALLGRAPH_EXPORTS = frozenset({
+    "CallGraph", "build_graph", "extract_module",
+})
 _VERIFY_EXPORTS = frozenset({
     "INVARIANTS", "VerifyFinding", "verify_plan", "verify_trace_events",
     "verify_chrome_payload", "iter_chrome_events", "iter_recorder_events",
 })
 
-__all__ = sorted(_LINT_EXPORTS | _VERIFY_EXPORTS)
+__all__ = sorted(
+    _LINT_EXPORTS | _FLOW_EXPORTS | _CALLGRAPH_EXPORTS | _VERIFY_EXPORTS
+)
 
 
 def __getattr__(name: str) -> Any:
@@ -41,6 +56,14 @@ def __getattr__(name: str) -> Any:
         from repro.analysis import lint
 
         return getattr(lint, name)
+    if name in _FLOW_EXPORTS:
+        from repro.analysis import flow
+
+        return getattr(flow, name)
+    if name in _CALLGRAPH_EXPORTS:
+        from repro.analysis import callgraph
+
+        return getattr(callgraph, name)
     if name in _VERIFY_EXPORTS:
         from repro.analysis import verify
 

@@ -153,6 +153,12 @@ _FS_ENUM_METHODS = frozenset({"iterdir", "glob", "rglob"})
 
 _SUPPRESS_RE = re.compile(r"#\s*csa:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
 
+#: flow-pass companions (:mod:`repro.analysis.flow` reuses the linter's
+#: comment grammar): per-site suppressions and audited-pure contracts
+DET_SUPPRESS_RE = re.compile(r"#\s*det:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+DET_CONTRACT_RE = re.compile(r"#\s*det:\s*pure\b(.*)$")
+CSU_SUPPRESS_RE = re.compile(r"#\s*csu:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -699,8 +705,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     payload = report_payload(findings, scanned)
     if args.report:
-        with open(args.report, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        try:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.as_json:
         json.dump(payload, sys.stdout, indent=2)
         print()

@@ -263,6 +263,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="write the lint JSON report to FILE")
     analyze.add_argument("--strict", action="store_true",
                          help="fail on verifier warnings too")
+    analyze.add_argument("--deep", action="store_true",
+                         help="also run the whole-program determinism "
+                         "taint and unit-consistency pass "
+                         "(repro.analysis.flow)")
+    analyze.add_argument("--deep-report", default=None, metavar="FILE",
+                         help="write the flow JSON report to FILE "
+                         "(implies --deep)")
+    analyze.add_argument("--cache", default=None, metavar="FILE",
+                         help="per-file AST/call-graph summary cache for "
+                         "--deep, keyed on source hashes")
 
     commands.add_parser("boards", help="list simulated boards")
     return parser
@@ -709,6 +719,22 @@ def _command_analyze(args) -> int:
         if args.strict:
             verify_args.append("--strict")
         status = max(status, verify.main(verify_args))
+    if args.deep or args.deep_report or args.cache:
+        from repro.analysis import flow
+
+        # The flow pass analyses one package root; honour an explicit
+        # directory argument, otherwise the installed package.
+        if len(paths) == 1 and os.path.isdir(paths[0]):
+            flow_args = [paths[0]]
+        else:
+            flow_args = [os.path.dirname(repro.__file__)]
+        if args.as_json:
+            flow_args.append("--json")
+        if args.deep_report:
+            flow_args += ["--report", args.deep_report]
+        if args.cache:
+            flow_args += ["--cache", args.cache]
+        status = max(status, flow.main(flow_args))
     return status
 
 
