@@ -161,6 +161,69 @@ def bench_replanning(rounds: int = 5):
     }
 
 
+#: drift scenarios the perf record tracks, one adaptive-vs-static
+#: session per (board, scenario) cell (see repro.datasets.DRIFT_KINDS)
+BENCH_DRIFT_SCENARIOS = ("ramp", "burst", "phase-shift")
+
+
+def bench_adaptive_drift(boards=("rk3399", "jetson_tx2_like")):
+    """Per-board adaptive-vs-static outcomes on drifting workloads.
+
+    Runs one :func:`repro.control.run_adaptive_session` per
+    (board, drift scenario) cell and records both arms' energy and
+    violation counts plus the controller's replan/adoption/warm-start
+    activity — so the perf record tracks how the online control loop
+    fares on the little.BIG boards beyond the reference rk3399.
+    """
+    from repro.control import ControllerConfig, SessionSpec, run_adaptive_session
+    from repro.simcore import boards as board_module
+
+    per_board = {}
+    for board_name in boards:
+        board = getattr(board_module, board_name)()
+        harness = Harness(board=board, cache=None)
+        per_board[board_name] = {}
+        for scenario in BENCH_DRIFT_SCENARIOS:
+            spec = SessionSpec(
+                scenario=scenario,
+                controller=ControllerConfig(horizon_windows=4),
+            )
+            started = time.perf_counter()
+            comparison = run_adaptive_session(harness, spec)
+            elapsed = time.perf_counter() - started
+            outcome = {
+                "static_energy_uj_per_byte": round(
+                    comparison.static_energy_uj_per_byte, 6
+                ),
+                "adaptive_energy_uj_per_byte": round(
+                    comparison.adaptive_energy_uj_per_byte, 6
+                ),
+                "energy_saving": round(comparison.energy_saving, 4),
+                "static_steady_violations": (
+                    comparison.static_steady_violations
+                ),
+                "adaptive_steady_violations": (
+                    comparison.adaptive_steady_violations
+                ),
+                "replans": comparison.adaptive.replans,
+                "plans_adopted": comparison.adaptive.plans_adopted,
+                "warm_start_hits": comparison.warm_start_hits,
+                "wall_seconds": round(elapsed, 4),
+            }
+            per_board[board_name][scenario] = outcome
+            print(
+                f"adapt {board_name}/{scenario}: energy "
+                f"{outcome['static_energy_uj_per_byte']:.4f} -> "
+                f"{outcome['adaptive_energy_uj_per_byte']:.4f} µJ/byte "
+                f"({outcome['energy_saving']:.1%} saving, "
+                f"{outcome['replans']} replans, "
+                f"{outcome['plans_adopted']} adopted, steady violations "
+                f"{outcome['static_steady_violations']} -> "
+                f"{outcome['adaptive_steady_violations']})"
+            )
+    return per_board
+
+
 #: chaos scenarios the perf record tracks: the heartbeat-driven
 #: failover (core-failure) plus the two signal-free faults that only
 #: the residual ledger can attribute; corruption runs at an elevated
@@ -373,6 +436,7 @@ def run_scaling(jobs_list, repetitions, quick, output, chunk=None):
         f"({replanning['warm_start_hit_rate']:.0%} warm-start hit rate)"
     )
 
+    adaptive = bench_adaptive_drift()
     chaos = bench_chaos_recovery()
 
     serial_cells_per_sec = cells / serial_seconds
@@ -404,6 +468,7 @@ def run_scaling(jobs_list, repetitions, quick, output, chunk=None):
         "trajectory": trajectory,
         "warm_cache": warm,
         "replanning": replanning,
+        "adaptive": adaptive,
         "chaos": chaos,
     }
     with open(output, "w") as sink:
@@ -458,6 +523,26 @@ def test_harness_scaling():
                 outcome["adaptive_steady_violations"]
                 <= outcome["static_steady_violations"]
             ), (board_name, scenario)
+    # the adaptive section tracks the control loop per board: every
+    # (board, drift) cell ran, replanned at least once, and never left
+    # the adaptive arm with more steady-state violations than static
+    for board_name, outcomes in record["adaptive"].items():
+        assert set(outcomes) == set(BENCH_DRIFT_SCENARIOS), board_name
+        for scenario, outcome in outcomes.items():
+            assert outcome["replans"] >= 1, (board_name, scenario)
+            assert outcome["adaptive_energy_uj_per_byte"] > 0
+            assert (
+                outcome["adaptive_steady_violations"]
+                <= outcome["static_steady_violations"]
+            ), (board_name, scenario)
+    # on the reference board the phase shift is drastic enough that
+    # adaptation must convert detection into a strict win on both axes
+    rk_shift = record["adaptive"]["rk3399"]["phase-shift"]
+    assert (
+        rk_shift["adaptive_steady_violations"]
+        < rk_shift["static_steady_violations"]
+    )
+    assert rk_shift["energy_saving"] > 0
     # signal-free faults emit no heartbeat — the residual ledger must
     # name the right component, and on the reference board the
     # diagnosis replan must convert detection into a strict win

@@ -7,9 +7,10 @@ before they are simulated, and exported trace streams after a run:
 ========  ==================================================================
 code      invariant
 ========  ==================================================================
-PLN001    the plan's task graph is acyclic: pipeline edges plus the data
-          dependencies implied by the codec's step order must admit a
-          topological order
+PLN001    the plan's task graph is acyclic: the declared stage
+          predecessors (chain order for plans without them) plus the
+          data dependencies implied by the codec's step graph must
+          admit a topological order
 PLN002    step coverage: the plan's tasks cover exactly the codec's step
           decomposition — no missing, duplicated or unknown steps
 PLN003    every assigned core id exists on the target board
@@ -19,6 +20,10 @@ PLN004    no core hosts two replicas of the *same* stage (warning —
 PLN005    L_set feasibility: the cost model's estimate for the plan
           meets the latency constraint (error when the caller expects a
           feasible plan, warning otherwise)
+PLN006    join coverage: the stage graph has a unique sink and every
+          stage reaches it, so counting batch completions at the sink
+          observes every routed batch (the executor's join barrier and
+          retry accounting both rely on this)
 TRC001    simulated time is non-decreasing per track (``(pid, tid)``) in
           stream order
 TRC002    cumulative energy counters never decrease per track
@@ -83,6 +88,7 @@ INVARIANTS: Dict[str, str] = {
     "PLN003": "every assigned core id exists on the board",
     "PLN004": "no core double-booked within one stage (warning)",
     "PLN005": "plan meets the L_set latency constraint per the cost model",
+    "PLN006": "stage graph has a unique sink every stage reaches",
     "TRC001": "simulated time non-decreasing per (pid, tid) track",
     "TRC002": "cumulative energy counters monotone per track",
     "TRC003": "X spans on one track never overlap",
@@ -172,21 +178,42 @@ def _find_cycle(edges: Dict[int, set]) -> Optional[List[int]]:
     return None
 
 
+def _stage_predecessors(plan: Any) -> List[Tuple[int, ...]]:
+    """Declared predecessor indices per stage, duck-typed off the plan.
+
+    Tasks without a ``predecessors`` attribute (plans predating the DAG
+    generalization, or minimal fakes in tests) get the chain shape.
+    """
+    tasks = list(plan.graph.tasks)
+    shape: List[Tuple[int, ...]] = []
+    for index, task in enumerate(tasks):
+        declared = getattr(task, "predecessors", None)
+        if declared is None:
+            declared = () if index == 0 else (index - 1,)
+        shape.append(tuple(int(p) for p in declared))
+    return shape
+
+
 def verify_plan(
     plan: Any,
     *,
     board: Any = None,
     expected_steps: Optional[Sequence[str]] = None,
+    step_dependencies: Any = None,
     cost_model: Any = None,
     expect_feasible: bool = False,
 ) -> List[VerifyFinding]:
-    """Check one scheduling plan against PLN001-PLN005.
+    """Check one scheduling plan against PLN001-PLN006.
 
-    ``plan`` needs ``.graph.tasks`` (each with ``.name``/``.step_ids``)
-    and ``.assignments``; ``board`` needs ``.core_by_id``; ``cost_model``
-    needs ``.evaluate(plan)`` returning an object with ``.feasible`` and
-    ``.infeasibility_reason``. All three extras are optional — omitted
-    checks are skipped, not failed.
+    ``plan`` needs ``.graph.tasks`` (each with ``.name``/``.step_ids``,
+    optionally ``.predecessors``) and ``.assignments``; ``board`` needs
+    ``.core_by_id``; ``cost_model`` needs ``.evaluate(plan)`` returning
+    an object with ``.feasible`` and ``.infeasibility_reason``;
+    ``step_dependencies`` is the codec's step DAG (step id -> producer
+    step ids) and replaces PLN001's linear step-order data edges —
+    without it, consecutive ``expected_steps`` pairs are assumed to be
+    data dependencies, which is only right for chain codecs. All the
+    extras are optional — omitted checks are skipped, not failed.
     """
     findings: List[VerifyFinding] = []
     stages = _plan_stages(plan)
@@ -231,17 +258,37 @@ def verify_plan(
                 )
             )
 
-    # PLN001 — acyclicity of pipeline edges + step-order data edges
-    edges: Dict[int, set] = {index: set() for index in range(len(stages))}
-    for index in range(len(stages) - 1):
-        edges[index].add(index + 1)
-    if expected_steps is not None and not duplicated:
-        ordered = [s for s in expected_steps if s in step_stage]
-        for producer, consumer in zip(ordered, ordered[1:]):
-            source = step_stage[producer]
-            target = step_stage[consumer]
-            if source != target:
-                edges[source].add(target)
+    # PLN001 — acyclicity of declared pipeline edges + data edges
+    shape = _stage_predecessors(plan)
+    pipeline_edges: Dict[int, set] = {
+        index: set() for index in range(len(stages))
+    }
+    for stage_index, producers in enumerate(shape):
+        for producer in producers:
+            if 0 <= producer < len(stages) and producer != stage_index:
+                pipeline_edges[producer].add(stage_index)
+            elif producer == stage_index:
+                pipeline_edges[stage_index].add(stage_index)
+    edges: Dict[int, set] = {
+        index: set(targets) for index, targets in pipeline_edges.items()
+    }
+    if not duplicated:
+        if step_dependencies is not None:
+            for consumer_step, producer_steps in dict(step_dependencies).items():
+                if consumer_step not in step_stage:
+                    continue
+                target = step_stage[consumer_step]
+                for producer_step in producer_steps:
+                    source = step_stage.get(producer_step)
+                    if source is not None and source != target:
+                        edges[source].add(target)
+        elif expected_steps is not None:
+            ordered = [s for s in expected_steps if s in step_stage]
+            for producer, consumer in zip(ordered, ordered[1:]):
+                source = step_stage[producer]
+                target = step_stage[consumer]
+                if source != target:
+                    edges[source].add(target)
     cycle = _find_cycle(edges)
     if cycle is not None:
         names = " -> ".join(stages[index][0] for index in cycle + cycle[:1])
@@ -250,11 +297,66 @@ def verify_plan(
                 code="PLN001",
                 severity=ERROR,
                 message=(
-                    "plan dependencies are cyclic (pipeline order "
-                    f"contradicts the codec's step order): {names}"
+                    "plan dependencies are cyclic (declared stage "
+                    "predecessors contradict the codec's step "
+                    f"dependencies): {names}"
                 ),
             )
         )
+
+    # PLN006 — join coverage over the declared pipeline edges: a unique
+    # sink that every stage reaches. Skipped when PLN001 already fired —
+    # reachability over a cyclic graph would only repeat the finding.
+    if cycle is None and len(stages) > 0:
+        sinks = sorted(
+            index
+            for index in range(len(stages))
+            if not pipeline_edges[index]
+        )
+        if len(sinks) != 1:
+            names = ", ".join(stages[index][0] for index in sinks)
+            findings.append(
+                VerifyFinding(
+                    code="PLN006",
+                    severity=ERROR,
+                    message=(
+                        f"stage graph has {len(sinks)} sinks ({names or 'none'}); "
+                        "batch completion is only counted at a unique "
+                        "final stage"
+                    ),
+                )
+            )
+        else:
+            sink = sinks[0]
+            reaches = {sink}
+            frontier = [sink]
+            incoming: Dict[int, set] = {i: set() for i in range(len(stages))}
+            for source, targets in pipeline_edges.items():
+                for target in targets:
+                    incoming[target].add(source)
+            while frontier:
+                node = frontier.pop()
+                for producer in incoming[node]:
+                    if producer not in reaches:
+                        reaches.add(producer)
+                        frontier.append(producer)
+            stranded = [
+                stages[index][0]
+                for index in range(len(stages))
+                if index not in reaches
+            ]
+            if stranded:
+                findings.append(
+                    VerifyFinding(
+                        code="PLN006",
+                        severity=ERROR,
+                        message=(
+                            f"stage(s) {stranded} never reach the sink "
+                            f"{stages[sink][0]} — their batches would be "
+                            "produced but never counted complete"
+                        ),
+                    )
+                )
 
     # PLN003 — core ids exist on the board
     if board is not None:

@@ -17,6 +17,7 @@ from repro.bench.exp_ablations import (
     abl_thermal,
 )
 from repro.bench.exp_chaos import chaos_recovery
+from repro.bench.exp_dag import dag_decompression
 from repro.bench.exp_endtoend import (
     fig05_state_sharing,
     fig07_energy,
@@ -79,6 +80,9 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig17": fig17_breakdown,
     "tab4": tab04_task_comparison,
     "tab5": tab05_model_accuracy,
+    # Beyond the paper: fork-join decompression workloads (DESIGN.md's
+    # "DAG pipelines").
+    "dag": dag_decompression,
     # Ablations of this reproduction's own design choices (not paper
     # figures; see DESIGN.md).
     "abl_guard": abl_guard_band,

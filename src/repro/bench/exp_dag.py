@@ -1,0 +1,81 @@
+"""DAG-workload experiment: decompression pipelines on the grid.
+
+The paper's three codecs are linear chains; the DAG generalization adds
+two fork-join workloads — ``unlz4`` (LZ4 decode: parse fans out to
+literal/match resolution, a merge joins them) and ``mltc`` (lossless
+LTC: per-channel cone encoders between a splitter and a packer). This
+experiment runs them through the same harness as the paper grid and
+reports, per cell, the measured energy/latency next to the cost model's
+*critical-path* estimate — the DAG analogue of the chain model's L_est,
+and the number PLN005 feasibility is judged against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.experiments import ExperimentResult, prefetch_grid
+from repro.bench.harness import Harness, WorkloadSpec, default_harness
+from repro.core.baselines import get_mechanism
+
+__all__ = ["dag_decompression", "dag_specs"]
+
+#: mechanisms worth comparing on fork-join shapes: the model-guided
+#: plan, the kernel baseline, and the shape-blind round-robin
+DAG_MECHANISMS = ("CStream", "OS", "RR")
+
+DAG_CODECS = ("unlz4", "mltc")
+DAG_DATASETS = ("rovio", "sensor")
+
+
+def dag_specs() -> List[WorkloadSpec]:
+    """The DAG decompression grid (2 codecs × 2 datasets)."""
+    return [
+        WorkloadSpec.of(codec, dataset)
+        for codec in DAG_CODECS
+        for dataset in DAG_DATASETS
+    ]
+
+
+def dag_decompression(
+    harness: Optional[Harness] = None,
+    repetitions: Optional[int] = None,
+) -> ExperimentResult:
+    """Fork-join decompression workloads end to end.
+
+    Columns: measured E and L per mechanism, plus the CStream plan's
+    critical-path latency estimate so the model-vs-measured gap on DAG
+    shapes is visible in one row.
+    """
+    harness = harness or default_harness()
+    specs = dag_specs()
+    prefetch_grid(harness, specs, DAG_MECHANISMS, repetitions)
+    rows = []
+    extras = {"cells": {}, "shapes": {}}
+    for spec in specs:
+        context = harness.context(spec)
+        extras["shapes"][spec.label] = context.fine_graph.describe()
+        outcome = get_mechanism("CStream").prepare(context)
+        critical_path = outcome.estimate.critical_path_us_per_byte
+        row = [spec.label]
+        for mechanism in DAG_MECHANISMS:
+            result = harness.run(spec, mechanism, repetitions=repetitions)
+            extras["cells"][(spec.label, mechanism)] = result
+            row.append(f"{result.mean_energy_uj_per_byte:.3f}")
+            row.append(f"{result.mean_latency_us_per_byte:.2f}")
+        row.append(f"{critical_path:.2f}")
+        rows.append(tuple(row))
+    headers = ["workload"]
+    for mechanism in DAG_MECHANISMS:
+        headers.append(f"{mechanism} E")
+        headers.append(f"{mechanism} L")
+    headers.append("critical path (µs/B)")
+    return ExperimentResult(
+        experiment_id="dag",
+        title="fork-join decompression workloads (E µJ/B, L µs/B)",
+        headers=tuple(headers),
+        rows=rows,
+        note="chains are the degenerate case of these pipelines; the "
+        "critical-path column is the DAG generalization of L_est",
+        extras=extras,
+    )

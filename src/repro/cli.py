@@ -82,6 +82,7 @@ _EXPERIMENT_CELLS = {
     "fig15": ("tcomp32", "rovio"),
     "fig16": ("tcomp32", "rovio"),
     "fig17": ("tcomp32", "rovio"),
+    "dag": ("unlz4", "rovio"),
 }
 
 

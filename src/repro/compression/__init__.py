@@ -2,16 +2,18 @@
 
 The public surface:
 
-* :func:`get_codec` / :data:`CODEC_NAMES` — registry of the paper's three
-  algorithms (``tcomp32``, ``tdic32``, ``lz4``);
+* :func:`get_codec` / :func:`register_codec` / :data:`CODEC_NAMES` —
+  the codec registry: the paper's three algorithms (``tcomp32``,
+  ``lz4``, ``tdic32``), the DAG-shaped extras (``unlz4``, ``mltc``) and
+  any out-of-tree codec registered at runtime or through a
+  ``cstream.codecs`` packaging entry point (see
+  :mod:`repro.compression.registry`);
 * :class:`~repro.compression.base.StreamCompressor` — the interface;
 * :class:`~repro.compression.stats.BatchStatistics` /
   :func:`~repro.compression.stats.analyze_batch` — workload statistics.
 """
 
 from __future__ import annotations
-
-from typing import Dict, Type
 
 from repro.compression.base import (
     CompressionResult,
@@ -25,11 +27,11 @@ from repro.compression.base import (
 from repro.compression.bitio import BitReader, BitWriter, bits_required
 from repro.compression.lz4 import Lz4
 from repro.compression.partitioned import PartitionedCodec
+from repro.compression.registry import codec_names, get_codec, register_codec
 from repro.compression.stats import BatchStatistics, analyze_batch, shannon_entropy
 from repro.compression.stream import CompressionSession, DecompressionSession
 from repro.compression.tcomp32 import Tcomp32
 from repro.compression.tdic32 import Tdic32
-from repro.errors import ConfigurationError
 
 __all__ = [
     "BatchStatistics",
@@ -51,29 +53,13 @@ __all__ = [
     "Tdic32",
     "analyze_batch",
     "bits_required",
+    "codec_names",
     "get_codec",
+    "register_codec",
     "shannon_entropy",
 ]
 
-_REGISTRY: Dict[str, Type[StreamCompressor]] = {
-    Tcomp32.name: Tcomp32,
-    Tdic32.name: Tdic32,
-    Lz4.name: Lz4,
-}
-
-#: Names of all registered codecs, in the paper's order.
-CODEC_NAMES = ("tcomp32", "lz4", "tdic32")
-
-
-def get_codec(name: str, **options) -> StreamCompressor:
-    """Instantiate a codec by registry name.
-
-    ``options`` are forwarded to the codec constructor (e.g.
-    ``get_codec("tdic32", index_bits=14)``).
-    """
-    try:
-        codec_class = _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise ConfigurationError(f"unknown codec {name!r}; known codecs: {known}")
-    return codec_class(**options)
+#: Names of all registered codecs at import time, the paper's three
+#: first. Codecs registered later (runtime plugins) appear in
+#: :func:`codec_names` but not in this snapshot.
+CODEC_NAMES = codec_names()

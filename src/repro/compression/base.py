@@ -181,6 +181,24 @@ class StreamCompressor(abc.ABC):
     def step_ids(self) -> Tuple[str, ...]:
         return tuple(spec.step_id for spec in self.steps())
 
+    def step_dependencies(self) -> Mapping[str, Tuple[str, ...]]:
+        """The codec's step DAG: each step id mapped to the step ids it
+        consumes data from (empty tuple for source steps).
+
+        Default: the paper's linear chain — every step depends on the
+        step before it in :meth:`steps` order. DAG codecs (fork/join
+        decompression, per-channel fan-out) override this; the mapping
+        must be topologically consistent with :meth:`steps` order (a
+        step may only depend on steps listed *earlier*), keys must be
+        exactly :meth:`step_ids`, and the last step must be the unique
+        sink so fused task graphs keep a single output stage.
+        """
+        ids = self.step_ids()
+        return {
+            step_id: (() if index == 0 else (ids[index - 1],))
+            for index, step_id in enumerate(ids)
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "stateful" if self.stateful else "stateless"
         return f"<{type(self).__name__} {self.name!r} ({kind})>"

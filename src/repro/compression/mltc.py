@@ -1,0 +1,388 @@
+"""mltc — multi-channel lightweight temporal compression (fan-out DAG).
+
+IoT boards rarely stream one signal: a flight controller interleaves
+accelerometer, gyro and barometer channels in a single tuple stream.
+``mltc`` de-interleaves the 32-bit words of a batch into ``channels``
+round-robin sub-streams and runs *lightweight temporal compression*
+(LTC: piecewise-linear approximation under an error cone) on each
+channel independently, making the pipeline a fan-out/fan-in DAG:
+
+* ``m0`` split — de-interleave words into per-channel buffers: a pure
+  shuffle, two memory accesses per byte (*low* intensity);
+* ``c1`` .. ``cK`` encode — per-channel LTC cone tracking plus residual
+  packing: register arithmetic per sample (*high* intensity), one task
+  per channel, all independent;
+* ``mz`` merge — concatenate channel blobs into the framed payload
+  (*low* intensity).
+
+LTC itself is lossy; the stream contract here demands an exact
+round-trip, so each channel stores its piecewise-linear *anchors*
+(segment length + approximated end value, chained so each segment
+starts at the previous segment's stored anchor) and then bit-packs the
+per-sample residuals against the reconstructed prediction, zig-zag
+coded at the channel's worst-case width. Smooth telemetry yields long
+segments and near-zero residual widths; noise degrades toward raw.
+
+Step graph (``channels=2``)::
+
+            +-> c1 -+
+    m0 ----+        +--> mz
+            +-> c2 -+
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Mapping, Tuple
+
+from repro.compression.base import (
+    CompressionResult,
+    StepCost,
+    StepRole,
+    StepSpec,
+    StreamCompressor,
+)
+from repro.compression.bitio import BitReader, BitWriter, bits_required
+from repro.errors import CompressionError, CorruptStreamError
+
+__all__ = ["Mltc"]
+
+_WORD = struct.Struct("<I")
+_WORD_BYTES = 4
+_WORD_MAX = 0xFFFFFFFF
+# original length, channel count, epsilon, raw tail length
+_HEADER = struct.Struct("<IBHB")
+# samples, first value, segment count, residual width
+_CHANNEL_HEADER = struct.Struct("<IIIB")
+_SEGMENT = struct.Struct("<II")  # length, end anchor
+
+# --- calibrated virtual-cost constants (see DESIGN.md) ------------------
+# m0 split: word shuffle into channel buffers, read + write per byte.
+_M0_INSTRUCTIONS_PER_BYTE = 0.9
+_M0_ACCESSES_PER_BYTE = 2.0
+# c_i encode: cone update per sample, segment bookkeeping, residual pack.
+_C_INSTRUCTIONS_PER_UPDATE = 30.0
+_C_INSTRUCTIONS_PER_SEGMENT = 110.0
+_C_INSTRUCTIONS_PER_SAMPLE = 9.0
+_C_ACCESSES_PER_SAMPLE = 1.6
+_C_ACCESSES_PER_SEGMENT = 2.5
+# mz merge: concatenate channel blobs and frame the payload.
+_MZ_INSTRUCTIONS_PER_BYTE = 1.3
+_MZ_INSTRUCTIONS_PER_CHANNEL = 50.0
+_MZ_ACCESSES_PER_BYTE = 1.9
+
+
+def _predict(base: int, end: int, offset: int, length: int) -> int:
+    """Linear interpolation between two anchors, rounded to an int.
+
+    Encoder and decoder both call this, so the reconstruction is exact
+    by construction regardless of the float rounding direction.
+    """
+    return round(base + (end - base) * offset / length)
+
+
+def _zigzag(value: int) -> int:
+    return 2 * value if value >= 0 else -2 * value - 1
+
+
+def _unzigzag(value: int) -> int:
+    return value // 2 if value % 2 == 0 else -(value // 2) - 1
+
+
+class Mltc(StreamCompressor):
+    """Multi-channel LTC stream compressor.
+
+    Parameters
+    ----------
+    channels:
+        Number of interleaved 32-bit channels (default 2); one encode
+        task per channel in the step graph.
+    epsilon:
+        LTC error-cone half-width (default 16). Larger values produce
+        longer segments and wider residuals; the round-trip stays exact
+        either way.
+    """
+
+    name = "mltc"
+    stateful = False
+
+    def __init__(self, channels: int = 2, epsilon: int = 16) -> None:
+        if not 1 <= channels <= 16:
+            raise CompressionError(
+                f"mltc channels must be in [1, 16], got {channels}"
+            )
+        if epsilon < 0:
+            raise CompressionError(
+                f"mltc epsilon must be non-negative, got {epsilon}"
+            )
+        self.channels = channels
+        self.epsilon = epsilon
+        self._steps = (
+            StepSpec("m0", StepRole.READ,
+                     "de-interleave words into channel buffers"),
+            *(
+                StepSpec(f"c{index}", StepRole.ENCODE,
+                         f"LTC-encode channel {index}")
+                for index in range(1, channels + 1)
+            ),
+            StepSpec("mz", StepRole.WRITE,
+                     "merge channel blobs into the framed payload"),
+        )
+
+    def steps(self) -> Tuple[StepSpec, ...]:
+        return self._steps
+
+    def step_dependencies(self) -> Mapping[str, Tuple[str, ...]]:
+        encode_ids = tuple(
+            f"c{index}" for index in range(1, self.channels + 1)
+        )
+        dependencies: Dict[str, Tuple[str, ...]] = {"m0": ()}
+        for step_id in encode_ids:
+            dependencies[step_id] = ("m0",)
+        dependencies["mz"] = encode_ids
+        return dependencies
+
+    # --- encode ---------------------------------------------------------
+
+    def compress(self, data: bytes) -> CompressionResult:
+        word_count = len(data) // _WORD_BYTES
+        tail = data[word_count * _WORD_BYTES:]
+        channel_values: List[List[int]] = [
+            [] for _ in range(self.channels)
+        ]
+        for index in range(word_count):
+            (value,) = _WORD.unpack_from(data, index * _WORD_BYTES)
+            channel_values[index % self.channels].append(value)
+
+        blobs: List[bytes] = []
+        updates_per_channel: List[int] = []
+        segments_per_channel: List[int] = []
+        for values in channel_values:
+            blob, updates, segments = self._encode_channel(values)
+            blobs.append(blob)
+            updates_per_channel.append(updates)
+            segments_per_channel.append(segments)
+
+        out = bytearray(
+            _HEADER.pack(len(data), self.channels, self.epsilon, len(tail))
+        )
+        for blob in blobs:
+            out.extend(_WORD.pack(len(blob)))
+            out.extend(blob)
+        out.extend(tail)
+        payload = bytes(out)
+
+        counters = {
+            "input_bytes": float(len(data)),
+            "words": float(word_count),
+            "segments": float(sum(segments_per_channel)),
+            "cone_updates": float(sum(updates_per_channel)),
+            "mean_segment_length": (
+                word_count / sum(segments_per_channel)
+                if sum(segments_per_channel) else 0.0
+            ),
+        }
+        step_costs = self._step_costs(
+            input_bytes=len(data),
+            payload_bytes=len(payload),
+            channel_values=channel_values,
+            blobs=blobs,
+            updates_per_channel=updates_per_channel,
+            segments_per_channel=segments_per_channel,
+        )
+        return CompressionResult(
+            payload=payload,
+            input_size=len(data),
+            step_costs=step_costs,
+            counters=counters,
+        )
+
+    def _encode_channel(self, values: List[int]) -> Tuple[bytes, int, int]:
+        """LTC-encode one channel; returns (blob, cone updates, segments)."""
+        n = len(values)
+        if n == 0:
+            return _CHANNEL_HEADER.pack(0, 0, 0, 0), 0, 0
+        epsilon = self.epsilon
+        anchor = values[0]
+        segments: List[Tuple[int, int]] = []
+        updates = 0
+        start = 0
+        while start < n - 1:
+            # Grow the error cone from (start, anchor) until it closes.
+            upper = float("inf")
+            lower = float("-inf")
+            end = start + 1
+            position = start + 1
+            while position < n:
+                span = position - start
+                high = (values[position] + epsilon - anchor) / span
+                low = (values[position] - epsilon - anchor) / span
+                updates += 1
+                next_upper = min(upper, high)
+                next_lower = max(lower, low)
+                if next_lower > next_upper:
+                    break
+                upper, lower = next_upper, next_lower
+                end = position
+                position += 1
+            length = end - start
+            slope = (upper + lower) / 2.0
+            end_anchor = round(anchor + slope * length)
+            end_anchor = min(max(end_anchor, 0), _WORD_MAX)
+            segments.append((length, end_anchor))
+            anchor = end_anchor
+            start = end
+
+        # Residuals against the reconstruction the decoder will compute.
+        predictions = self._reconstruct(values[0], segments, n)
+        residuals = [value - predicted
+                     for value, predicted in zip(values, predictions)]
+        width = max(bits_required(_zigzag(r)) for r in residuals)
+        writer = BitWriter()
+        for residual in residuals:
+            writer.write(_zigzag(residual), width)
+        residual_bytes = writer.getvalue()
+
+        blob = bytearray(
+            _CHANNEL_HEADER.pack(n, values[0], len(segments), width)
+        )
+        for length, end_anchor in segments:
+            blob.extend(_SEGMENT.pack(length, end_anchor))
+        blob.extend(residual_bytes)
+        return bytes(blob), updates, len(segments)
+
+    @staticmethod
+    def _reconstruct(
+        first: int, segments: List[Tuple[int, int]], count: int
+    ) -> List[int]:
+        """Per-sample predictions from the chained segment anchors."""
+        predictions = [first]
+        anchor = first
+        for length, end_anchor in segments:
+            for offset in range(1, length + 1):
+                predictions.append(
+                    _predict(anchor, end_anchor, offset, length)
+                )
+            anchor = end_anchor
+        if len(predictions) != count:
+            raise CorruptStreamError(
+                f"mltc segment lengths cover {len(predictions)} samples, "
+                f"expected {count}"
+            )
+        return predictions
+
+    # --- decode ---------------------------------------------------------
+
+    def decompress(self, payload: bytes) -> bytes:
+        if len(payload) < _HEADER.size:
+            raise CorruptStreamError("mltc stream shorter than its header")
+        original, channels, _epsilon, tail_length = _HEADER.unpack_from(
+            payload
+        )
+        if channels != self.channels:
+            raise CorruptStreamError(
+                f"mltc stream has {channels} channels, decoder expects "
+                f"{self.channels}"
+            )
+        position = _HEADER.size
+        channel_values: List[List[int]] = []
+        for _ in range(channels):
+            if position + _WORD.size > len(payload):
+                raise CorruptStreamError("mltc stream truncated at blob size")
+            (blob_length,) = _WORD.unpack_from(payload, position)
+            position += _WORD.size
+            if position + blob_length > len(payload):
+                raise CorruptStreamError("mltc channel blob exceeds stream")
+            blob = payload[position:position + blob_length]
+            position += blob_length
+            channel_values.append(self._decode_channel(blob))
+        tail = payload[position:]
+        if len(tail) != tail_length:
+            raise CorruptStreamError(
+                f"mltc trailing bytes {len(tail)} != promised {tail_length}"
+            )
+
+        word_count = sum(len(values) for values in channel_values)
+        out = bytearray()
+        cursors = [0] * channels
+        for index in range(word_count):
+            channel = index % channels
+            out.extend(
+                _WORD.pack(channel_values[channel][cursors[channel]])
+            )
+            cursors[channel] += 1
+        out.extend(tail)
+        if len(out) != original:
+            raise CorruptStreamError(
+                f"mltc decoded {len(out)} bytes, header promised {original}"
+            )
+        return bytes(out)
+
+    def _decode_channel(self, blob: bytes) -> List[int]:
+        if len(blob) < _CHANNEL_HEADER.size:
+            raise CorruptStreamError("mltc channel blob shorter than header")
+        count, first, segment_count, width = _CHANNEL_HEADER.unpack_from(blob)
+        if count == 0:
+            return []
+        position = _CHANNEL_HEADER.size
+        segments: List[Tuple[int, int]] = []
+        for _ in range(segment_count):
+            if position + _SEGMENT.size > len(blob):
+                raise CorruptStreamError("mltc blob truncated in segments")
+            segments.append(_SEGMENT.unpack_from(blob, position))
+            position += _SEGMENT.size
+        predictions = self._reconstruct(first, segments, count)
+        reader = BitReader(blob[position:])
+        values = []
+        for predicted in predictions:
+            residual = _unzigzag(reader.read(width))
+            values.append(predicted + residual)
+        return values
+
+    # --- cost model -----------------------------------------------------
+
+    def _step_costs(
+        self,
+        input_bytes: int,
+        payload_bytes: int,
+        channel_values: List[List[int]],
+        blobs: List[bytes],
+        updates_per_channel: List[int],
+        segments_per_channel: List[int],
+    ) -> Dict[str, StepCost]:
+        costs: Dict[str, StepCost] = {
+            "m0": StepCost(
+                instructions=_M0_INSTRUCTIONS_PER_BYTE * input_bytes,
+                memory_accesses=_M0_ACCESSES_PER_BYTE * input_bytes,
+                input_bytes=input_bytes,
+                output_bytes=input_bytes,
+            )
+        }
+        for index in range(self.channels):
+            samples = len(channel_values[index])
+            channel_bytes = samples * _WORD_BYTES
+            costs[f"c{index + 1}"] = StepCost(
+                instructions=(
+                    _C_INSTRUCTIONS_PER_UPDATE * updates_per_channel[index]
+                    + _C_INSTRUCTIONS_PER_SEGMENT
+                    * segments_per_channel[index]
+                    + _C_INSTRUCTIONS_PER_SAMPLE * samples
+                ),
+                memory_accesses=(
+                    _C_ACCESSES_PER_SAMPLE * samples
+                    + _C_ACCESSES_PER_SEGMENT * segments_per_channel[index]
+                ),
+                input_bytes=channel_bytes,
+                output_bytes=len(blobs[index]),
+            )
+        blob_bytes = sum(len(blob) for blob in blobs)
+        costs["mz"] = StepCost(
+            instructions=(
+                _MZ_INSTRUCTIONS_PER_BYTE * payload_bytes
+                + _MZ_INSTRUCTIONS_PER_CHANNEL * self.channels
+            ),
+            memory_accesses=_MZ_ACCESSES_PER_BYTE * payload_bytes,
+            input_bytes=blob_bytes,
+            output_bytes=payload_bytes,
+        )
+        return costs

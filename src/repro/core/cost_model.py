@@ -372,17 +372,23 @@ class CostModel:
         core_id: int,
         upstream_cores: Tuple[int, ...],
         replicas: int,
+        producer_stage: Optional[int] = None,
     ) -> float:
-        """l_comm of one replica, µs per byte of batch (Eq 7).
+        """l_comm of one replica from one producer stage, µs per byte (Eq 7).
 
-        The replica fetches its 1/replicas share of the upstream stage's
-        forwarded bytes, drawn evenly from every upstream replica; each
+        The replica fetches its 1/replicas share of the producer stage's
+        forwarded bytes, drawn evenly from every producer replica; each
         producer contributes one message (its ω) over its path.
+        ``producer_stage`` defaults to ``stage_index - 1`` (the chain
+        shape); DAG consumers call this once per predecessor stage and
+        sum — a join pays every producer's messages.
         """
-        if stage_index == 0 or not self.communication_aware:
+        if producer_stage is None:
+            producer_stage = stage_index - 1
+        if producer_stage < 0 or not self.communication_aware:
             return 0.0
         tables = self._tables()
-        upstream_bytes = self.stage_output_bytes(stage_index - 1)
+        upstream_bytes = self.stage_output_bytes(producer_stage)
         share = upstream_bytes / replicas / len(upstream_cores)
         total_us = 0.0
         if tables is None:
@@ -403,6 +409,7 @@ class CostModel:
         stage_index: int,
         core_id: int,
         upstream_cores: Tuple[int, ...],
+        producer_stage: Optional[int] = None,
     ) -> float:
         """Per-message transfer energy of one replica, µJ per byte.
 
@@ -410,8 +417,12 @@ class CostModel:
         still draws interconnect/DRAM energy, which the dry-run
         measurement exposes — pricing it keeps the scheduler honest
         about uneconomical replication at small batch sizes (Fig 11).
+        Like :meth:`communication_latency`, one call prices one
+        producer stage (default: the chain upstream).
         """
-        if stage_index == 0 or not self.communication_aware:
+        if producer_stage is None:
+            producer_stage = stage_index - 1
+        if producer_stage < 0 or not self.communication_aware:
             return 0.0
         tables = self._tables()
         total_uj = 0.0
@@ -468,30 +479,34 @@ class CostModel:
                 / batch
             ).tolist()
 
-            if stage_index == 0 or not self.communication_aware:
-                l_comm_values = [0.0] * replicas
-                e_comm_values = [0.0] * replicas
-            else:
-                upstream_cores = plan.assignments[stage_index - 1]
-                share = (
-                    tables.output_bytes[stage_index - 1]
-                    / replicas
-                    / len(upstream_cores)
-                )
+            producer_stages = plan.graph.predecessors_of(stage_index)
+            l_comm_values = [0.0] * replicas
+            e_comm_values = [0.0] * replicas
+            if producer_stages and self.communication_aware:
                 unit = tables.comm_unit
                 overhead = tables.comm_overhead
                 comm_energy = tables.comm_energy
-                l_comm_values = []
-                e_comm_values = []
-                for core_id in cores:
-                    total_us = 0.0
-                    total_uj = 0.0
-                    for producer_core in upstream_cores:
-                        total_us += share * unit[producer_core][core_id]
-                        total_us += overhead[producer_core][core_id]
-                        total_uj += comm_energy[producer_core][core_id]
-                    l_comm_values.append(total_us / batch)
-                    e_comm_values.append(total_uj / batch)
+                # Producer stages in ascending order, producers within a
+                # stage in assignment order — the same deterministic
+                # fold the scalar oracle performs. For chains this is
+                # one producer stage, so the accumulation is the old
+                # single-pass loop bit for bit (0.0 + x == x).
+                for producer_stage in producer_stages:
+                    upstream_cores = plan.assignments[producer_stage]
+                    share = (
+                        tables.output_bytes[producer_stage]
+                        / replicas
+                        / len(upstream_cores)
+                    )
+                    for replica_index, core_id in enumerate(cores):
+                        total_us = 0.0
+                        total_uj = 0.0
+                        for producer_core in upstream_cores:
+                            total_us += share * unit[producer_core][core_id]
+                            total_us += overhead[producer_core][core_id]
+                            total_uj += comm_energy[producer_core][core_id]
+                        l_comm_values[replica_index] += total_us / batch
+                        e_comm_values[replica_index] += total_uj / batch
 
             kappa = tables.kappas[stage_index]
             for replica_index, core_id in enumerate(cores):
@@ -524,19 +539,29 @@ class CostModel:
         core_load: Dict[int, float] = {}
         for stage_index, cores in enumerate(plan.assignments):
             replicas = len(cores)
-            upstream_cores = (
-                plan.assignments[stage_index - 1] if stage_index > 0 else ()
-            )
+            producer_stages = plan.graph.predecessors_of(stage_index)
             for replica_index, core_id in enumerate(cores):
                 l_comp = self.compute_latency(stage_index, core_id, replicas)
-                l_comm = self.communication_latency(
-                    stage_index, core_id, upstream_cores, replicas
-                )
+                l_comm = 0.0
+                e_comm = 0.0
+                for producer_stage in producer_stages:
+                    upstream_cores = plan.assignments[producer_stage]
+                    l_comm += self.communication_latency(
+                        stage_index,
+                        core_id,
+                        upstream_cores,
+                        replicas,
+                        producer_stage=producer_stage,
+                    )
+                    e_comm += self.communication_energy(
+                        stage_index,
+                        core_id,
+                        upstream_cores,
+                        producer_stage=producer_stage,
+                    )
                 energy = self.task_energy(
                     stage_index, core_id, replicas
-                ) + self.communication_energy(
-                    stage_index, core_id, upstream_cores
-                )
+                ) + e_comm
                 estimates.append(
                     TaskEstimate(
                         stage_index=stage_index,
@@ -559,6 +584,29 @@ class CostModel:
         latency = max(bottleneck_task, bottleneck_core)
         energy = ordered_sum(est.energy_uj_per_byte for est in estimates)
 
+        # Critical path: per-stage latency (slowest replica) summed along
+        # the heaviest chain of stage edges. For chains this degenerates
+        # to the plain stage sum; forks run branches in parallel, so a
+        # join only inherits its heaviest producer. The steady-state
+        # period (L_est above) stays the feasibility metric — the
+        # critical path prices one batch's end-to-end pipeline depth,
+        # which replanning and the schedulers' tie-breaking consume.
+        stage_latency: Dict[int, float] = {}
+        for est in estimates:
+            current = stage_latency.get(est.stage_index, 0.0)
+            if est.l_us_per_byte > current:
+                stage_latency[est.stage_index] = est.l_us_per_byte
+        path_to: Dict[int, float] = {}
+        for stage_index in range(plan.graph.stage_count):
+            longest_producer = 0.0
+            for producer in plan.graph.predecessors_of(stage_index):
+                if path_to[producer] > longest_producer:
+                    longest_producer = path_to[producer]
+            path_to[stage_index] = (
+                stage_latency.get(stage_index, 0.0) + longest_producer
+            )
+        critical_path = path_to[plan.graph.stage_count - 1]
+
         budget = self.guard_band * self.latency_constraint_us_per_byte
         reason = ""
         if latency > budget:
@@ -573,4 +621,5 @@ class CostModel:
             feasible=not reason,
             infeasibility_reason=reason,
             core_load_us_per_byte=core_load,
+            critical_path_us_per_byte=critical_path,
         )

@@ -1,23 +1,33 @@
-"""Fine-grained decomposition with fusion (paper §IV-B).
+"""Fine-grained decomposition with fusion (paper §IV-B), DAG-aware.
 
 Every codec step starts as its own candidate task (pipelining
-parallelism exposes per-step operational intensity). Adjacent steps are
-then *fused* when the message-passing cost between them would exceed the
-computation they contain: the paper's rule fuses ``t_i`` with its
-upstream ``t_i'`` when ``l_comm(t_i) > l_comp(t_i)`` **or**
-``l_comm(t_i) > l_comp(t_i')``.
+parallelism exposes per-step operational intensity). A step is then
+*fused* with its producer when the message-passing cost between them
+would exceed the computation they contain: the paper's rule fuses
+``t_i`` with its upstream ``t_i'`` when ``l_comm(t_i) > l_comp(t_i)``
+**or** ``l_comm(t_i) > l_comp(t_i')``.
+
+Codecs expose their step *DAG* via
+:meth:`~repro.compression.base.StreamCompressor.step_dependencies`
+(linear chain by default). The fusion rule generalizes conservatively:
+a step may only fuse into a group when **all** of its producer steps
+already live in that one group — join steps (multiple producer groups)
+always start their own task, which keeps the contracted group graph
+acyclic (every edge into the fused step comes from its own group, so no
+back-path can form) and topologically indexed in creation order.
 
 Computation latencies for the rule are evaluated on the most favourable
 core type (the fastest option a scheduler could pick), and communication
 on the cheapest path (intra-cluster c0) — i.e. fusion happens only when
 even the best-case split is not worth it. For tcomp32 this reproduces
 the paper's example: the tiny read step fuses into the encode step while
-the write step stays separate (Fig 4).
+the write step stays separate (Fig 4). For the fork/join decompression
+codec the parse fork and the merge join stay unfused by construction.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.compression.base import StepCost
 from repro.core.profiler import CommunicationTable, WorkloadProfile
@@ -26,7 +36,7 @@ from repro.errors import ConfigurationError
 from repro.simcore.boards import BoardSpec
 from repro.simcore.interconnect import Path
 
-__all__ = ["decompose", "best_case_compute_latency"]
+__all__ = ["decompose", "best_case_compute_latency", "validate_step_dependencies"]
 
 
 def best_case_compute_latency(
@@ -56,42 +66,121 @@ def _communication_latency(
     ) / batch_bytes
 
 
+def validate_step_dependencies(
+    codec_name: str,
+    step_ids: Sequence[str],
+    dependencies: Mapping[str, Tuple[str, ...]],
+) -> None:
+    """Reject malformed codec step DAGs before they reach decomposition.
+
+    The mapping must cover exactly ``step_ids``, every producer must be
+    listed *earlier* in ``step_ids`` (so step order is a topological
+    order and cycles are unrepresentable), and the final step must be
+    the unique sink (every other step feeds someone downstream).
+    """
+    declared = set(dependencies)
+    expected = set(step_ids)
+    if declared != expected:
+        raise ConfigurationError(
+            f"codec {codec_name!r}: step dependencies cover "
+            f"{sorted(declared)}, expected {sorted(step_ids)}"
+        )
+    position = {step_id: index for index, step_id in enumerate(step_ids)}
+    consumed = set()
+    for step_id in step_ids:
+        for producer in dependencies[step_id]:
+            if producer not in position:
+                raise ConfigurationError(
+                    f"codec {codec_name!r}: step {step_id} depends on "
+                    f"unknown step {producer!r}"
+                )
+            if position[producer] >= position[step_id]:
+                raise ConfigurationError(
+                    f"codec {codec_name!r}: step {step_id} depends on "
+                    f"{producer}, which is not earlier in step order — "
+                    "steps must be listed in topological order"
+                )
+            consumed.add(producer)
+    orphaned = [s for s in step_ids[:-1] if s not in consumed]
+    if orphaned:
+        raise ConfigurationError(
+            f"codec {codec_name!r}: step(s) {orphaned} produce output no "
+            "later step consumes — the final step must be the unique sink"
+        )
+
+
 def decompose(
     profile: WorkloadProfile,
     board: BoardSpec,
     eta_curves,
     communication: CommunicationTable,
 ) -> TaskGraph:
-    """Build the fused task pipeline for a profiled workload.
+    """Build the fused task graph for a profiled workload.
 
     ``eta_curves`` maps :class:`~repro.simcore.hardware.CoreType` to a
     fitted η curve (from :func:`repro.core.cost_model.calibrate_curves`).
     """
     if not profile.step_ids:
-        raise ConfigurationError("workload profile has no steps")
+        raise ConfigurationError(
+            f"codec {profile.codec_name!r}: workload profile has no steps"
+        )
     batch_bytes = float(profile.batch_size_bytes)
+    dependencies = profile.dependency_map()
+    validate_step_dependencies(
+        profile.codec_name, profile.step_ids, dependencies
+    )
 
-    # Groups of fused step ids, built left to right.
-    groups: List[List[str]] = [[profile.step_ids[0]]]
-    for step_id in profile.step_ids[1:]:
-        group_cost = StepCost.merged(
-            [profile.mean_step_costs[s] for s in groups[-1]]
+    # Groups of fused step ids, built in step (= topological) order.
+    groups: List[List[str]] = []
+    group_of: Dict[str, int] = {}
+    for step_id in profile.step_ids:
+        producer_groups = sorted(
+            {group_of[producer] for producer in dependencies[step_id]}
         )
-        step_cost = profile.mean_step_costs[step_id]
-        l_comm = _communication_latency(group_cost, communication, batch_bytes)
-        l_comp_group = best_case_compute_latency(
-            group_cost, board, eta_curves, batch_bytes
+        if len(producer_groups) == 1:
+            # Sole-producer-group step: the paper's pairwise fusion rule
+            # applies against that group. Join steps (two or more
+            # producer groups) and roots never fuse.
+            candidate = producer_groups[0]
+            group_cost = StepCost.merged(
+                [profile.mean_step_costs[s] for s in groups[candidate]]
+            )
+            step_cost = profile.mean_step_costs[step_id]
+            l_comm = _communication_latency(
+                group_cost, communication, batch_bytes
+            )
+            l_comp_group = best_case_compute_latency(
+                group_cost, board, eta_curves, batch_bytes
+            )
+            l_comp_step = best_case_compute_latency(
+                step_cost, board, eta_curves, batch_bytes
+            )
+            if l_comm > l_comp_step or l_comm > l_comp_group:
+                groups[candidate].append(step_id)
+                group_of[step_id] = candidate
+                continue
+        groups.append([step_id])
+        group_of[step_id] = len(groups) - 1
+
+    group_predecessors: List[Tuple[int, ...]] = []
+    for index, group in enumerate(groups):
+        producers = sorted(
+            {
+                group_of[producer]
+                for step_id in group
+                for producer in dependencies[step_id]
+                if group_of[producer] != index
+            }
         )
-        l_comp_step = best_case_compute_latency(
-            step_cost, board, eta_curves, batch_bytes
-        )
-        if l_comm > l_comp_step or l_comm > l_comp_group:
-            groups[-1].append(step_id)
-        else:
-            groups.append([step_id])
+        group_predecessors.append(tuple(producers))
 
     tasks = tuple(
-        Task(name=f"t{index}", step_ids=tuple(group), stage_index=index)
+        Task(
+            name=f"t{index}",
+            step_ids=tuple(group),
+            stage_index=index,
+            predecessors=group_predecessors[index],
+        )
         for index, group in enumerate(groups)
     )
     return TaskGraph(codec_name=profile.codec_name, tasks=tasks)

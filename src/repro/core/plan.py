@@ -71,11 +71,20 @@ class SchedulingPlan:
         return counts
 
     def describe(self) -> str:
-        """E.g. ``t0[s0+s1]@[4] -> t1[s2]@[0]``."""
+        """E.g. ``t0[s0+s1]@[4] -> t1[s2]@[0]`` for chains; DAG plans
+        annotate join/fork stages with their producers the way
+        :meth:`TaskGraph.describe` does (``t3[d3]@[0]<-[t1,t2]``)."""
+        chain = self.graph.is_chain
         parts = []
         for task, cores in zip(self.graph.tasks, self.assignments):
-            parts.append(f"{task}@{list(cores)}")
-        return " -> ".join(parts)
+            label = f"{task}@{list(cores)}"
+            if not chain and task.predecessors:
+                producers = ",".join(
+                    self.graph.tasks[p].name for p in task.predecessors
+                )
+                label = f"{label}<-[{producers}]"
+            parts.append(label)
+        return " -> ".join(parts) if chain else " ; ".join(parts)
 
     def remap_cores(self, mapping: Mapping[int, int]) -> "SchedulingPlan":
         """A copy with every core id rewritten through ``mapping``
@@ -94,6 +103,9 @@ class SchedulingPlan:
     def diff(self, new_plan: "SchedulingPlan") -> "PlanDelta":
         """Replica moves turning this plan into ``new_plan``.
 
+        Stage-indexed, so it is shape-agnostic: chains and DAG plans
+        diff identically (moves are per-stage; the edge structure only
+        matters when *pricing* the moves, via the migration table).
         Replicas of one stage are interchangeable, so the diff is a
         per-stage multiset comparison: cores present in both plans stay
         put, and the leftovers are paired source-to-destination in
@@ -146,17 +158,21 @@ class SchedulingPlan:
         *,
         board=None,
         expected_steps=None,
+        step_dependencies=None,
         cost_model=None,
         expect_feasible: bool = False,
         strict: bool = False,
     ):
-        """Check this plan against the PLN001-PLN005 invariants.
+        """Check this plan against the PLN001-PLN006 invariants.
 
         Raises :class:`~repro.errors.InvariantViolationError` on any
         error-severity finding (with ``strict=True``, on warnings too);
         returns the full findings list otherwise so callers can log
         warnings. ``board``/``expected_steps``/``cost_model`` enable the
-        corresponding checks — see
+        corresponding checks; ``step_dependencies`` (the codec's step
+        DAG, as produced by
+        :meth:`~repro.compression.base.StreamCompressor.step_dependencies`)
+        replaces PLN001's linear step-order data edges — see
         :func:`repro.analysis.verify.verify_plan`. Enabled for every
         :meth:`~repro.core.scheduler.Scheduler.schedule` call when
         ``REPRO_VALIDATE_PLANS=1`` (the test suite's default).
@@ -172,6 +188,7 @@ class SchedulingPlan:
             self,
             board=board,
             expected_steps=expected_steps,
+            step_dependencies=step_dependencies,
             cost_model=cost_model,
             expect_feasible=expect_feasible,
         )
@@ -220,6 +237,14 @@ class PlanEstimate:
     feasible: bool
     infeasibility_reason: str = ""
     core_load_us_per_byte: Mapping[int, float] = field(default_factory=dict)
+    #: longest path through the stage DAG (per-stage latency summed along
+    #: the heaviest chain of edges) — the end-to-end latency a single
+    #: batch sees. For chains this is the plain stage sum. Steady-state
+    #: throughput is still governed by ``latency_us_per_byte`` (the
+    #: bottleneck period, Eq 1); the critical path prices *pipeline
+    #: depth*, which forks shorten and joins cannot extend past the
+    #: heaviest branch.
+    critical_path_us_per_byte: float = 0.0
 
     def bottleneck(self) -> TaskEstimate:
         """The task replica with the highest estimated latency — the

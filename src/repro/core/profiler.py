@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,10 +55,25 @@ class WorkloadProfile:
     per_batch_step_costs: Tuple[Dict[str, StepCost], ...]
     statistics: BatchStatistics
     compression_ratio: float
+    #: the codec's step DAG (step id -> producer step ids), ``None`` for
+    #: profiles captured before the DAG generalization — consumers fall
+    #: back to the linear chain via :meth:`dependency_map`, which also
+    #: keeps previously cached/pickled profiles loadable.
+    step_dependencies: Optional[Dict[str, Tuple[str, ...]]] = None
 
     @property
     def batch_count(self) -> int:
         return len(self.per_batch_step_costs)
+
+    def dependency_map(self) -> Dict[str, Tuple[str, ...]]:
+        """Step DAG with the chain fallback for legacy profiles."""
+        declared = getattr(self, "step_dependencies", None)
+        if declared:
+            return dict(declared)
+        return {
+            step_id: (() if index == 0 else (self.step_ids[index - 1],))
+            for index, step_id in enumerate(self.step_ids)
+        }
 
     def step_kappa(self, step_id: str) -> float:
         return self.mean_step_costs[step_id].operational_intensity
@@ -133,6 +148,10 @@ def profile_workload(
         per_batch_step_costs=tuple(per_batch),
         statistics=analyze_batch(first_batch),
         compression_ratio=input_total / output_total if output_total else float("inf"),
+        step_dependencies={
+            step_id: tuple(producers)
+            for step_id, producers in codec.step_dependencies().items()
+        },
     )
 
 

@@ -1,7 +1,12 @@
 """Model-guided plan search (paper §V-C) with iterative scaling (§IV-B).
 
 The search enumerates scheduling plans with a dynamic program over
-pipeline stages. Two structural reductions keep it exact *and* small:
+pipeline stages. Stage indices are a topological order of the task
+graph (a :class:`~repro.core.task.TaskGraph` invariant: every
+predecessor has a lower index), so the same stage-by-stage depth-first
+walk is simultaneously a walk over chains and over fork/join DAGs —
+when a stage is placed, every producer it prices communication against
+is already placed. Two structural reductions keep it exact *and* small:
 
 * cores inside a cluster are identical, so a stage's placement is a
   *split* ``(n_little, n_big)`` of its replicas between clusters; the
@@ -354,9 +359,15 @@ class Scheduler:
         # scheduler computes — results are identical either way.
         if os.environ.get("REPRO_VALIDATE_PLANS") != "1":  # csa: ignore[CSA007]
             return
+        dependency_map = getattr(
+            self.model.profile, "dependency_map", None
+        )
         plan.validate(
             board=self.board,
             expected_steps=self.model.profile.step_ids,
+            step_dependencies=(
+                dependency_map() if callable(dependency_map) else None
+            ),
             cost_model=self.model if expect_feasible else None,
             expect_feasible=expect_feasible,
         )

@@ -1,16 +1,32 @@
 """Task graph produced by fine-grained decomposition (paper §IV).
 
-A stream-compression procedure decomposes into a *linear pipeline* of
-:class:`Task` stages, each running one or more consecutive codec steps
-(fused when communication would cost more than computation). Tasks may
-later be *replicated* for data parallelism; replication lives in the
-scheduling plan, not here — a :class:`Task` is the logical stage.
+A stream-compression procedure decomposes into a *DAG* of :class:`Task`
+stages, each running one or more fused codec steps (fused when
+communication would cost more than computation). The common case — and
+the only shape the source paper considers — is a linear chain, which is
+the degenerate DAG where every stage's sole predecessor is the stage
+before it. Decompression pipelines (parse → {literal copy, match copy}
+→ merge) and multi-channel codecs (split → per-channel encode → merge)
+need the general fork/join shape.
+
+Tasks may later be *replicated* for data parallelism; replication lives
+in the scheduling plan, not here — a :class:`Task` is the logical stage.
+
+Shape invariants enforced at construction:
+
+* tasks are indexed ``0..n-1`` in a topological order — every
+  predecessor has a *lower* stage index, so cycles are unrepresentable
+  and any stage-index walk is a valid topological traversal;
+* the graph has a unique sink, which (by the indexing rule) is always
+  the last stage — the executor counts batch completions there;
+* every non-final stage is consumed by some downstream stage, so every
+  produced batch reaches the sink (join coverage).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 from repro.compression.base import StepCost
 from repro.errors import ConfigurationError
@@ -20,17 +36,50 @@ __all__ = ["Task", "TaskGraph"]
 
 @dataclass(frozen=True)
 class Task:
-    """One pipeline stage: an ordered group of fused codec steps."""
+    """One pipeline stage: an ordered group of fused codec steps.
+
+    ``predecessors`` names the stage indices this task consumes batches
+    from. ``None`` (the default) means the chain shape: stage 0 reads
+    the source stream, stage ``i`` consumes stage ``i - 1``. An explicit
+    empty tuple marks a *root* stage that reads the source directly even
+    in a non-chain graph.
+    """
 
     name: str
     step_ids: Tuple[str, ...]
     stage_index: int
+    predecessors: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.step_ids:
             raise ConfigurationError(f"task {self.name} has no steps")
         if self.stage_index < 0:
             raise ConfigurationError("stage_index must be non-negative")
+        if self.predecessors is None:
+            chain_default = () if self.stage_index == 0 else (self.stage_index - 1,)
+            object.__setattr__(self, "predecessors", chain_default)
+            return
+        normalized = tuple(sorted(set(int(p) for p in self.predecessors)))
+        for producer in normalized:
+            if producer < 0:
+                raise ConfigurationError(
+                    f"task {self.name} has negative predecessor {producer}"
+                )
+            if producer >= self.stage_index:
+                raise ConfigurationError(
+                    f"task {self.name} (stage {self.stage_index}) lists "
+                    f"predecessor {producer}, which is not upstream — tasks "
+                    "must be indexed in topological order, so every "
+                    "predecessor needs a lower stage index"
+                )
+        object.__setattr__(self, "predecessors", normalized)
+
+    @property
+    def is_chain_stage(self) -> bool:
+        """True when this task has exactly the chain-default predecessors."""
+        if self.stage_index == 0:
+            return self.predecessors == ()
+        return self.predecessors == (self.stage_index - 1,)
 
     def merged_cost(self, step_costs: Mapping[str, StepCost]) -> StepCost:
         """This task's cost for one batch, given per-step codec costs."""
@@ -48,29 +97,62 @@ class Task:
 
 @dataclass(frozen=True)
 class TaskGraph:
-    """A linear pipeline of tasks covering a codec's steps in order."""
+    """A DAG of tasks covering a codec's steps (chains as the default)."""
 
     codec_name: str
     tasks: Tuple[Task, ...]
 
     def __post_init__(self) -> None:
         if not self.tasks:
-            raise ConfigurationError("task graph needs at least one task")
+            raise ConfigurationError(
+                f"codec {self.codec_name!r}: task graph needs at least one task"
+            )
         for index, task in enumerate(self.tasks):
             if task.stage_index != index:
                 raise ConfigurationError(
-                    f"task {task.name} has stage_index {task.stage_index}, "
-                    f"expected {index}"
+                    f"codec {self.codec_name!r}: task {task.name} has "
+                    f"stage_index {task.stage_index}, expected {index}"
                 )
-        seen = []
+        seen: List[str] = []
         for task in self.tasks:
             seen.extend(task.step_ids)
         if len(seen) != len(set(seen)):
-            raise ConfigurationError("a step appears in more than one task")
+            duplicated = sorted({s for s in seen if seen.count(s) > 1})
+            raise ConfigurationError(
+                f"codec {self.codec_name!r}: step(s) {duplicated} appear in "
+                "more than one task"
+            )
+        # Join coverage: with topological indexing the last stage is
+        # structurally a sink (nobody downstream exists to consume it);
+        # requiring every *other* stage to have a consumer makes that
+        # sink unique and reachable from everywhere, so counting batch
+        # completions at the last stage observes the whole graph.
+        consumed = {p for task in self.tasks for p in task.predecessors}
+        orphaned = [
+            task.name
+            for task in self.tasks[:-1]
+            if task.stage_index not in consumed
+        ]
+        if orphaned:
+            raise ConfigurationError(
+                f"codec {self.codec_name!r}: task(s) {orphaned} produce "
+                "output no downstream task consumes — every non-final stage "
+                "must reach the sink"
+            )
 
     @property
     def stage_count(self) -> int:
         return len(self.tasks)
+
+    @property
+    def is_chain(self) -> bool:
+        """True when every stage has the chain-default predecessors."""
+        return all(task.is_chain_stage for task in self.tasks)
+
+    @property
+    def sink_index(self) -> int:
+        """The unique sink — always the last stage (see class docstring)."""
+        return len(self.tasks) - 1
 
     def covered_steps(self) -> Tuple[str, ...]:
         steps = []
@@ -78,12 +160,39 @@ class TaskGraph:
             steps.extend(task.step_ids)
         return tuple(steps)
 
-    def upstream_of(self, stage_index: int) -> Task:
-        """The producer stage, or None for the first stage (which reads
-        the input stream directly — no communication, Eq 7)."""
-        if stage_index == 0:
+    def predecessors_of(self, stage_index: int) -> Tuple[int, ...]:
+        """Stage indices feeding ``stage_index`` (ascending, possibly empty)."""
+        return self.tasks[stage_index].predecessors
+
+    def successors_of(self, stage_index: int) -> Tuple[int, ...]:
+        """Stage indices consuming ``stage_index`` (ascending, possibly empty)."""
+        return tuple(
+            task.stage_index
+            for task in self.tasks
+            if stage_index in task.predecessors
+        )
+
+    def roots(self) -> Tuple[int, ...]:
+        """Stages with no predecessors — they read the source stream."""
+        return tuple(
+            task.stage_index for task in self.tasks if not task.predecessors
+        )
+
+    def upstream_of(self, stage_index: int) -> Optional[Task]:
+        """The sole producer stage, or None for a root stage (which reads
+        the input stream directly — no communication, Eq 7). Multi-input
+        join stages have no *single* upstream; use
+        :meth:`predecessors_of` for the general shape."""
+        producers = self.predecessors_of(stage_index)
+        if not producers:
             return None
-        return self.tasks[stage_index - 1]
+        if len(producers) > 1:
+            raise ConfigurationError(
+                f"codec {self.codec_name!r}: stage {stage_index} joins "
+                f"{len(producers)} producers; upstream_of is only defined "
+                "for chain-shaped stages (use predecessors_of)"
+            )
+        return self.tasks[producers[0]]
 
     @staticmethod
     def coarse(codec_name: str, step_ids: Tuple[str, ...]) -> "TaskGraph":
@@ -98,5 +207,22 @@ class TaskGraph:
         )
 
     def describe(self) -> str:
-        """Human-readable pipeline summary, e.g. ``t0[s0+s1] -> t1[s2]``."""
-        return " -> ".join(str(task) for task in self.tasks)
+        """Human-readable pipeline summary.
+
+        Chains keep the historical arrow form, e.g. ``t0[s0+s1] -> t1[s2]``
+        (golden traces pin this exact string). DAGs annotate each
+        non-chain stage with its producers, e.g.
+        ``t0[d0] ; t1[d1]<-[t0] ; t2[d2]<-[t0] ; t3[d3]<-[t1,t2]``.
+        """
+        if self.is_chain:
+            return " -> ".join(str(task) for task in self.tasks)
+        parts = []
+        for task in self.tasks:
+            if task.predecessors:
+                producers = ",".join(
+                    self.tasks[p].name for p in task.predecessors
+                )
+                parts.append(f"{task}<-[{producers}]")
+            else:
+                parts.append(str(task))
+        return " ; ".join(parts)

@@ -786,11 +786,19 @@ class _RepetitionRun:
 
         # Message channels: one store per (producer, consumer) pair so a
         # fast producer cannot make a consumer start a batch before every
-        # upstream share has arrived.
+        # upstream share has arrived. A consumer's inboxes are indexed by
+        # flattened (predecessor stage ascending, replica ascending) —
+        # the deterministic join order: a join stage drains every
+        # producer's store in that fixed sequence, so fan-in arrival
+        # order can never reorder simulated events. Root stages (no
+        # predecessors) hold a single source-token store instead.
         stage_inputs: List[List[List[Store]]] = []
         for stage_index, cores in enumerate(plan.assignments):
+            producer_stages = graph.predecessors_of(stage_index)
             producer_count = (
-                1 if stage_index == 0 else plan.replicas(stage_index - 1)
+                1
+                if not producer_stages
+                else sum(plan.replicas(p) for p in producer_stages)
             )
             stage_inputs.append(
                 [
@@ -851,9 +859,23 @@ class _RepetitionRun:
             task_label = f"s{stage_index}r{replica_index}"
             lock = stage_locks.get(stage_index)
             is_last_stage = stage_index == last_stage
-            if not is_last_stage:
-                consumer_count = plan.replicas(stage_index + 1)
-                consumer_inboxes = stage_inputs[stage_index + 1]
+            is_root = not graph.predecessors_of(stage_index)
+            # One route per successor stage: its inbox table, its replica
+            # count, and where this stage's replicas sit in the consumer's
+            # flattened (predecessor stage asc, replica asc) inbox order.
+            # For a chain this is exactly one route with offset 0.
+            successor_routes = []
+            for consumer_stage in graph.successors_of(stage_index):
+                producer_offset = 0
+                for producer_stage in graph.predecessors_of(consumer_stage):
+                    if producer_stage == stage_index:
+                        break
+                    producer_offset += plan.replicas(producer_stage)
+                successor_routes.append((
+                    stage_inputs[consumer_stage],
+                    plan.replicas(consumer_stage),
+                    producer_offset,
+                ))
             # switch_us and its overhead energy depend only on the routed
             # core and its (governor-adjustable) frequency — memoized per
             # (core, frequency) so the η/power lookups leave the loop.
@@ -866,9 +888,13 @@ class _RepetitionRun:
                 if self.failed_cores:
                     routed_core = self.route_core(core_id)
                 server = servers[routed_core]
-                if stage_index == 0:
+                if is_root:
                     yield inboxes[0].get(transient=True)  # source token
                 else:
+                    # Deterministic join barrier: drain every upstream
+                    # store in fixed (predecessor stage asc, replica asc)
+                    # order before any compute, so fan-in arrival order
+                    # cannot perturb the simulation.
                     comm_us = 0.0
                     for inbox in inboxes:
                         token = yield inbox.get(transient=True)
@@ -1006,20 +1032,30 @@ class _RepetitionRun:
                             trace.batch_complete(batch_index, simulator.now)
                         self.on_batch_complete()
                 else:
-                    share = cost.output_bytes / replicas / consumer_count
-                    for consumer_index in range(consumer_count):
-                        inbox = consumer_inboxes[consumer_index][replica_index]
-                        yield inbox.put(
-                            (batch_index, routed_core, share),
-                            transient=True,
+                    # Fan-out: the full batch output is broadcast to each
+                    # successor stage, split evenly across its replicas —
+                    # matching the cost model's per-edge share.
+                    for route in successor_routes:
+                        consumer_inboxes, consumer_count, producer_offset = (
+                            route
                         )
+                        share = cost.output_bytes / replicas / consumer_count
+                        slot = producer_offset + replica_index
+                        for consumer_index in range(consumer_count):
+                            inbox = consumer_inboxes[consumer_index][slot]
+                            yield inbox.put(
+                                (batch_index, routed_core, share),
+                                transient=True,
+                            )
 
         def source_process():
+            root_stages = graph.roots()
             for batch_index in range(batch_start, batch_start + batch_count):
-                for consumer_inboxes in stage_inputs[0]:
-                    yield consumer_inboxes[0].put(
-                        (batch_index, -1, 0.0), transient=True
-                    )
+                for root_stage in root_stages:
+                    for consumer_inboxes in stage_inputs[root_stage]:
+                        yield consumer_inboxes[0].put(
+                            (batch_index, -1, 0.0), transient=True
+                        )
 
         processes: List = []
         for stage_index, cores in enumerate(plan.assignments):

@@ -455,8 +455,8 @@ def two_stage_plan(steps0, steps1, assignments):
 
 class TestPlanInvariants:
     def test_invariant_table(self):
-        assert len(INVARIANTS) == 15
-        assert sum(1 for code in INVARIANTS if code.startswith("PLN")) == 5
+        assert len(INVARIANTS) == 16
+        assert sum(1 for code in INVARIANTS if code.startswith("PLN")) == 6
         assert sum(1 for code in INVARIANTS if code.startswith("HLT")) == 3
 
     def test_pln001_cyclic_plan(self):
@@ -469,6 +469,66 @@ class TestPlanInvariants:
     def test_pln001_clean_pipeline(self):
         plan = two_stage_plan(("s0",), ("s1",), ((0,), (1,)))
         assert verify_plan(plan, expected_steps=("s0", "s1")) == []
+
+    def test_pln001_declared_shape_contradicts_step_graph(self):
+        # Declared pipeline: t0 -> t1. Codec step graph: t1's step "b"
+        # produces t0's step "a". Either edge set alone is acyclic;
+        # together they are a cycle only the DAG-aware check can see.
+        plan = two_stage_plan(("a",), ("b",), ((0,), (1,)))
+        found = verify_plan(
+            plan,
+            expected_steps=("b", "a"),
+            step_dependencies={"b": (), "a": ("b",)},
+        )
+        assert "PLN001" in codes(found)
+
+    def test_pln_fork_join_plan_accepted(self):
+        graph = TaskGraph(
+            codec_name="toy-dag",
+            tasks=(
+                Task(name="t0", step_ids=("d0",), stage_index=0),
+                Task(name="t1", step_ids=("d1",), stage_index=1,
+                     predecessors=(0,)),
+                Task(name="t2", step_ids=("d2",), stage_index=2,
+                     predecessors=(0,)),
+                Task(name="t3", step_ids=("d3",), stage_index=3,
+                     predecessors=(1, 2)),
+            ),
+        )
+        plan = SchedulingPlan(
+            graph=graph, assignments=((0,), (1,), (2,), (3,))
+        )
+        found = verify_plan(
+            plan,
+            expected_steps=("d0", "d1", "d2", "d3"),
+            step_dependencies={
+                "d0": (), "d1": ("d0",), "d2": ("d0",),
+                "d3": ("d1", "d2"),
+            },
+        )
+        assert found == []
+
+    def test_pln006_multiple_sinks(self):
+        # TaskGraph itself refuses orphaned stages, so a multi-sink
+        # shape can only come from a foreign plan object — duck-typed.
+        from types import SimpleNamespace
+
+        def fake_task(name, step_ids, predecessors):
+            return SimpleNamespace(
+                name=name, step_ids=step_ids, predecessors=predecessors
+            )
+
+        plan = SimpleNamespace(
+            graph=SimpleNamespace(tasks=(
+                fake_task("t0", ("s0",), ()),
+                fake_task("t1", ("s1",), (0,)),
+                fake_task("t2", ("s2",), (0,)),
+            )),
+            assignments=((0,), (1,), (2,)),
+        )
+        found = verify_plan(plan)
+        assert "PLN006" in codes(found)
+        assert "2 sinks" in found[0].message
 
     def test_pln002_missing_step(self):
         plan = two_stage_plan(("s0",), ("s1",), ((0,), (1,)))

@@ -8,8 +8,18 @@ from repro.datasets import DATASET_NAMES, get_dataset
 from repro.errors import ConfigurationError
 
 
+#: The paper's chain-shaped algorithms; the DAG extras (unlz4, mltc)
+#: follow the cost/determinism contracts but not the s0..sN naming.
+CHAIN_CODECS = ("tcomp32", "lz4", "tdic32")
+
+
 @pytest.fixture(params=CODEC_NAMES)
 def codec(request):
+    return get_codec(request.param)
+
+
+@pytest.fixture(params=CHAIN_CODECS)
+def chain_codec(request):
     return get_codec(request.param)
 
 
@@ -28,8 +38,8 @@ class TestRegistry:
 
 
 class TestStepContract:
-    def test_steps_ordered_s0_first(self, codec):
-        ids = codec.step_ids()
+    def test_chain_steps_ordered_s0_first(self, chain_codec):
+        ids = chain_codec.step_ids()
         assert ids[0] == "s0"
         assert ids == tuple(f"s{i}" for i in range(len(ids)))
 
@@ -41,6 +51,37 @@ class TestStepContract:
     def test_stateful_codecs_have_state_update(self, codec):
         roles = {spec.role for spec in codec.steps()}
         assert (StepRole.STATE_UPDATE in roles) == codec.stateful
+
+    def test_step_dependencies_form_a_valid_dag(self, codec):
+        """Every codec's declared step graph passes the decomposer's
+        validation: known producers, topological order, unique sink."""
+        from repro.core.decomposition import validate_step_dependencies
+
+        validate_step_dependencies(
+            codec.name, codec.step_ids(), codec.step_dependencies()
+        )
+
+    def test_chain_codecs_declare_chain_dependencies(self, chain_codec):
+        ids = chain_codec.step_ids()
+        expected = {
+            step_id: (() if index == 0 else (ids[index - 1],))
+            for index, step_id in enumerate(ids)
+        }
+        assert dict(chain_codec.step_dependencies()) == expected
+
+    def test_unlz4_is_a_fork_join(self):
+        codec = get_codec("unlz4")
+        assert dict(codec.step_dependencies()) == {
+            "d0": (), "d1": ("d0",), "d2": ("d0",), "d3": ("d1", "d2"),
+        }
+
+    def test_mltc_fans_out_per_channel(self):
+        codec = get_codec("mltc", channels=3)
+        assert dict(codec.step_dependencies()) == {
+            "m0": (),
+            "c1": ("m0",), "c2": ("m0",), "c3": ("m0",),
+            "mz": ("c1", "c2", "c3"),
+        }
 
 
 class TestCostContract:
@@ -57,14 +98,21 @@ class TestCostContract:
             assert cost.memory_accesses >= 0
             assert cost.output_bytes >= 0
 
-    def test_first_step_input_is_batch(self, codec, rovio_data):
-        result = codec.compress(rovio_data)
+    def test_first_step_input_is_batch(self, chain_codec, rovio_data):
+        result = chain_codec.compress(rovio_data)
         assert result.step_costs["s0"].input_bytes == len(rovio_data)
 
-    def test_last_step_output_is_payload(self, codec, rovio_data):
-        result = codec.compress(rovio_data)
-        last = codec.step_ids()[-1]
+    def test_last_step_output_is_payload(self, chain_codec, rovio_data):
+        result = chain_codec.compress(rovio_data)
+        last = chain_codec.step_ids()[-1]
         assert result.step_costs[last].output_bytes == result.output_size
+
+    def test_unlz4_models_the_decoder_side(self, rovio_data):
+        """The decompression pipeline's parse step consumes the
+        compressed stream and its merge step emits the decoded batch."""
+        result = get_codec("unlz4").compress(rovio_data)
+        assert result.step_costs["d0"].input_bytes == result.output_size
+        assert result.step_costs["d3"].output_bytes == len(rovio_data)
 
     def test_deterministic_costs(self, rovio_data, codec):
         first = get_codec(codec.name).compress(rovio_data)

@@ -38,8 +38,8 @@ REPS = 6
 class TestRegistry:
     def test_registry_size(self):
         # 16 paper items + 5 reproduction ablations + adaptive loop
-        # + chaos recovery.
-        assert len(EXPERIMENTS) == 23
+        # + chaos recovery + the fork-join decompression grid.
+        assert len(EXPERIMENTS) == 24
 
     def test_every_paper_item_present(self):
         expected = {
@@ -48,7 +48,7 @@ class TestRegistry:
             "fig17", "tab4", "tab5",
         }
         assert expected <= set(EXPERIMENTS)
-        extras = set(EXPERIMENTS) - expected - {"adaptive", "chaos"}
+        extras = set(EXPERIMENTS) - expected - {"adaptive", "chaos", "dag"}
         assert all(name.startswith("abl_") for name in extras)
 
     def test_unknown_id_rejected(self):

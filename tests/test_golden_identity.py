@@ -165,6 +165,22 @@ class TestGoldenIdentity:
     def test_faulted_cell_identical(self, golden, fresh):
         assert fresh["faulted"] == golden["faulted"]
 
+    def test_chain_plans_stay_chain_shaped(self):
+        """The DAG generalization is invisible to the paper's codecs:
+        every golden codec still decomposes to a chain whose tasks carry
+        the implicit chain predecessors and whose description uses the
+        pre-refactor arrow format (no DAG annotations)."""
+        harness = golden_harness()
+        for codec in CODECS:
+            context = harness.context(spec_for(codec))
+            graph = context.fine_graph
+            assert graph.is_chain, codec
+            for task in graph.tasks:
+                assert task.is_chain_stage, (codec, task.name)
+            description = graph.describe()
+            assert ";" not in description, codec
+            assert "<-" not in description, codec
+
     def test_plan_choices_identical(self, golden, fresh):
         for codec in CODECS:
             expected = golden["plans"][codec]
