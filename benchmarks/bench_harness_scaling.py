@@ -7,7 +7,10 @@ rate, and a per-phase wall-clock breakdown — profiling vs simulation vs
 cache I/O vs plan search — from :data:`repro.obs.registry.REGISTRY`).
 Also times cold vs warm-started replanning on a drifted cost model and
 records the warm-start hit rate, so the perf trajectory tracks the
-scheduler-search cost the online control loop pays per replan.
+scheduler-search cost the online control loop pays per replan, and
+runs the fleet capacity sweep (static vs shedding vs
+shedding+failover under a board crash, 3- and 6-board fleets) so the
+record tracks the serving tier's graceful-degradation wins.
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_harness_scaling.py
@@ -313,6 +316,58 @@ def bench_chaos_recovery(boards=("rk3399", "jetson_tx2_like")):
     return per_board
 
 
+#: (boards, tenants) cells of the fleet capacity sweep
+BENCH_FLEET_SIZES = ((3, 6), (6, 12))
+
+
+def bench_fleet_capacity(sizes=BENCH_FLEET_SIZES):
+    """Per-fleet-size serving outcomes under a board crash.
+
+    Runs the three gateway arms (static admission, +shedding,
+    +breaker+failover) of :func:`repro.fleet.scenario.run_fleet_scenario`
+    over each (boards, tenants) cell and records admissions,
+    violations, shed/failover activity and the crash→re-placement lag
+    — so the perf record tracks the serving tier's graceful
+    degradation alongside the single-session control loop.
+    """
+    from repro.fleet.scenario import FleetScenarioSpec, run_fleet_scenario
+
+    per_size = {}
+    for boards, tenants in sizes:
+        spec = FleetScenarioSpec(boards=boards, tenants=tenants)
+        started = time.perf_counter()
+        comparison = run_fleet_scenario(spec)
+        elapsed = time.perf_counter() - started
+        arms = {}
+        for summary in comparison.summaries:
+            arms[summary.arm] = {
+                "tenants_admitted": summary.tenants_admitted,
+                "tenants_rejected": summary.tenants_rejected,
+                "total_violations": summary.total_violations,
+                "steady_violations": summary.steady_violations,
+                "sheds": summary.sheds,
+                "failovers": summary.failovers,
+                "failover_lag_windows": summary.failover_lag_windows,
+                "energy_uj": round(summary.energy_uj, 2),
+            }
+        per_size[f"{boards}x{tenants}"] = {
+            "boards": boards,
+            "tenants": tenants,
+            "arms": arms,
+            "wall_seconds": round(elapsed, 4),
+        }
+        static = arms["static"]
+        failover = arms["shed-failover"]
+        print(
+            f"fleet {boards}x{tenants}: steady violations static "
+            f"{static['steady_violations']} vs shed-failover "
+            f"{failover['steady_violations']}, "
+            f"{failover['failovers']} failovers, lag "
+            f"{failover['failover_lag_windows']} windows"
+        )
+    return per_size
+
+
 def load_baseline(path):
     """The previously committed record at ``path`` (None if absent)."""
     try:
@@ -438,6 +493,7 @@ def run_scaling(jobs_list, repetitions, quick, output, chunk=None):
 
     adaptive = bench_adaptive_drift()
     chaos = bench_chaos_recovery()
+    fleet = bench_fleet_capacity()
 
     serial_cells_per_sec = cells / serial_seconds
     trajectory = {"cells_per_sec": round(serial_cells_per_sec, 2)}
@@ -470,6 +526,7 @@ def run_scaling(jobs_list, repetitions, quick, output, chunk=None):
         "replanning": replanning,
         "adaptive": adaptive,
         "chaos": chaos,
+        "fleet": fleet,
     }
     with open(output, "w") as sink:
         json.dump(record, sink, indent=2)
@@ -535,6 +592,25 @@ def test_harness_scaling():
                 outcome["adaptive_steady_violations"]
                 <= outcome["static_steady_violations"]
             ), (board_name, scenario)
+    # the fleet section tracks the serving tier's graceful degradation:
+    # on every fleet size the breaker+failover arm must re-place the
+    # crashed board's victims within 3 windows and end with at most 25%
+    # of the static arm's steady-state violations
+    for size_label, outcome in record["fleet"].items():
+        static = outcome["arms"]["static"]
+        failover = outcome["arms"]["shed-failover"]
+        assert failover["failovers"] >= 1, size_label
+        assert failover["failover_lag_windows"] is not None, size_label
+        assert failover["failover_lag_windows"] <= 3, size_label
+        assert (
+            failover["steady_violations"]
+            <= 0.25 * static["steady_violations"]
+        ), size_label
+        # shedding alone already beats stranding victims forever
+        shed = outcome["arms"]["shed"]
+        assert (
+            shed["steady_violations"] < static["steady_violations"]
+        ), size_label
     # on the reference board the phase shift is drastic enough that
     # adaptation must convert detection into a strict win on both axes
     rk_shift = record["adaptive"]["rk3399"]["phase-shift"]

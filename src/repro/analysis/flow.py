@@ -142,6 +142,7 @@ ENTRY_POINTS: Tuple[Tuple[str, Optional[str], str], ...] = (
     ("simcore.engine", "Store", r"put|get"),
     ("simcore.engine", "Event", r"succeed"),
     ("compression", "*", r"compress|decompress"),
+    ("fleet.gateway", "Gateway", r"run"),
 )
 
 #: stdlib/numpy roots audited as determinism-safe: calling into them

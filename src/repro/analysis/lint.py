@@ -91,7 +91,9 @@ RULES: Dict[str, str] = {
 
 #: packages (directories under ``repro/``) where the simulator's purity
 #: contract is enforced; everything else gets only the everywhere-rules
-STRICT_PACKAGES = frozenset({"simcore", "core", "runtime", "compression"})
+STRICT_PACKAGES = frozenset(
+    {"simcore", "core", "runtime", "compression", "fleet"}
+)
 
 #: rules that apply to every linted file regardless of package
 _EVERYWHERE_RULES = frozenset({"CSA002", "CSA004", "CSA008"})

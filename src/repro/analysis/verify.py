@@ -48,6 +48,17 @@ HLT002    health attributions reference live components: the named
           are known interconnect classes, stage/core keys are indices
 HLT003    every quantity in a health report is finite — a NaN residual
           means the ledger divided by an empty window
+FLT001    in a fleet health report (schema v2), no tenant is recorded
+          ``running`` on a board recorded dead in the same window
+FLT002    admission honesty: every ``admit`` event's tenant shows a
+          modeled latency within its ``l_set`` in the admission window
+FLT003    breaker-state legality: each board's breaker transitions
+          chain legally from ``closed`` (closed→open→half-open→…), and
+          replaying them reproduces the per-window recorded state
+FLT004    shed-priority order: an overload shed's victim has the lowest
+          priority among the tenants then running on that board
+FLT005    backoff bounded: every queued retry delay is within the
+          jittered cap of the default backoff policy
 ========  ==================================================================
 
 Severity model: **error** findings make the CLI exit 1; **warning**
@@ -65,6 +76,7 @@ import argparse
 import json
 import math
 import numbers
+import re
 import sys
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -76,6 +88,7 @@ __all__ = [
     "verify_trace_events",
     "verify_chrome_payload",
     "verify_health",
+    "verify_fleet_health",
     "iter_chrome_events",
     "iter_recorder_events",
     "main",
@@ -101,6 +114,11 @@ INVARIANTS: Dict[str, str] = {
     "HLT002": "health attributions reference live components (known "
               "path class, named component present in the window)",
     "HLT003": "health report quantities are all finite",
+    "FLT001": "no tenant running on a dead board",
+    "FLT002": "admitted implies modeled latency within l_set",
+    "FLT003": "breaker transitions legal and replayable from the trace",
+    "FLT004": "overload sheds evict the lowest priority first",
+    "FLT005": "queued retry delays bounded by the backoff cap",
 }
 
 ERROR = "error"
@@ -874,6 +892,253 @@ def verify_health(payload: Any) -> List[VerifyFinding]:
 
 
 # ---------------------------------------------------------------------------
+# FLT001-FLT005 — fleet health reports (schema v2)
+# ---------------------------------------------------------------------------
+
+#: legal breaker edges — mirrors repro.fleet.breaker.LEGAL_TRANSITIONS
+#: (duplicated so this module stays stdlib-importable)
+_FLEET_BREAKER_EDGES = frozenset({
+    ("closed", "open"),
+    ("open", "half-open"),
+    ("half-open", "closed"),
+    ("half-open", "open"),
+})
+
+#: FLT005 bound: the default BackoffPolicy's jittered cap,
+#: cap_windows * (1 + jitter) = 8 * 1.25
+_FLEET_BACKOFF_CAP_WINDOWS = 10.0
+
+_RETRY_DELAY_PATTERN = re.compile(r"retry in ([0-9][0-9.]*) windows")
+
+
+def verify_fleet_health(payload: Any) -> List[VerifyFinding]:
+    """Fleet invariants (FLT001-FLT005) of a parsed v2 health report.
+
+    Duck-typed over the raw JSON like :func:`verify_health`; the report
+    is expected to be schema-valid already
+    (:func:`repro.obs.check.validate_health` handles that layer).
+    """
+    findings: List[VerifyFinding] = []
+    if not isinstance(payload, dict):
+        return findings
+    windows = payload.get("windows")
+    events = payload.get("events")
+    windows = windows if isinstance(windows, list) else []
+    events = events if isinstance(events, list) else []
+
+    # indexed views of the window records
+    tenants_by_window: Dict[int, Dict[int, dict]] = {}
+    boards_by_window: Dict[int, Dict[int, dict]] = {}
+    for window in windows:
+        if not isinstance(window, dict):
+            continue
+        w_index = window.get("window_index")
+        if not isinstance(w_index, int):
+            continue
+        tenants_by_window[w_index] = {
+            t["tenant_id"]: t
+            for t in window.get("tenants", [])
+            if isinstance(t, dict) and isinstance(t.get("tenant_id"), int)
+        }
+        boards_by_window[w_index] = {
+            b["board_index"]: b
+            for b in window.get("boards", [])
+            if isinstance(b, dict) and isinstance(b.get("board_index"), int)
+        }
+
+    # FLT001 — no tenant running on a dead board
+    for w_index in sorted(tenants_by_window):
+        boards = boards_by_window.get(w_index, {})
+        for tenant_id in sorted(tenants_by_window[w_index]):
+            tenant = tenants_by_window[w_index][tenant_id]
+            if tenant.get("state") != "running":
+                continue
+            board = boards.get(tenant.get("board_index"))
+            if board is not None and board.get("alive") is False:
+                findings.append(
+                    VerifyFinding(
+                        code="FLT001",
+                        severity=ERROR,
+                        message=(
+                            f"tenant {tenant_id} is running on dead "
+                            f"board {tenant.get('board_index')}"
+                        ),
+                        location=f"windows[{w_index}]",
+                    )
+                )
+
+    # FLT002 — admit events are honest about the SLO
+    for event in events:
+        if not isinstance(event, dict) or event.get("kind") != "admit":
+            continue
+        w_index = event.get("window_index")
+        tenant_id = event.get("tenant_id")
+        tenant = tenants_by_window.get(w_index, {}).get(tenant_id)
+        if tenant is None or tenant.get("state") != "running":
+            continue
+        modeled = _health_number(tenant.get("modeled_latency_us_per_byte"))
+        l_set = _health_number(tenant.get("l_set_us_per_byte"))
+        if modeled is None or l_set is None or modeled > l_set:
+            findings.append(
+                VerifyFinding(
+                    code="FLT002",
+                    severity=ERROR,
+                    message=(
+                        f"tenant {tenant_id} admitted in window "
+                        f"{w_index} with modeled latency {modeled} "
+                        f"above its l_set {l_set}"
+                    ),
+                    location=f"events[{event.get('sequence')}]",
+                )
+            )
+
+    # FLT003 — breaker transitions chain legally and replay to the
+    # per-window recorded states
+    transitions_by_board: Dict[int, List[Tuple[int, str, str]]] = {}
+    for event in events:
+        if not isinstance(event, dict) or event.get("kind") != "breaker":
+            continue
+        board_index = event.get("board_index")
+        detail = str(event.get("detail", ""))
+        edge = detail.split(" (")[0]
+        if "->" not in edge or not isinstance(board_index, int):
+            findings.append(
+                VerifyFinding(
+                    code="FLT003",
+                    severity=ERROR,
+                    message=f"malformed breaker event detail {detail!r}",
+                    location=f"events[{event.get('sequence')}]",
+                )
+            )
+            continue
+        from_state, to_state = edge.split("->", 1)
+        transitions_by_board.setdefault(board_index, []).append(
+            (event.get("window_index"), from_state, to_state)
+        )
+    for board_index in sorted(transitions_by_board):
+        state = "closed"
+        for w_index, from_state, to_state in transitions_by_board[
+            board_index
+        ]:
+            if from_state != state:
+                findings.append(
+                    VerifyFinding(
+                        code="FLT003",
+                        severity=ERROR,
+                        message=(
+                            f"board {board_index} breaker trace broken: "
+                            f"at {state!r} but transition departs from "
+                            f"{from_state!r} in window {w_index}"
+                        ),
+                        location=f"windows[{w_index}]",
+                    )
+                )
+            if (from_state, to_state) not in _FLEET_BREAKER_EDGES:
+                findings.append(
+                    VerifyFinding(
+                        code="FLT003",
+                        severity=ERROR,
+                        message=(
+                            f"board {board_index} illegal breaker "
+                            f"transition {from_state}->{to_state} in "
+                            f"window {w_index}"
+                        ),
+                        location=f"windows[{w_index}]",
+                    )
+                )
+            state = to_state
+    # replay check: the state recorded for a board each window equals
+    # the state after all transitions up to and including that window
+    for board_index in sorted(
+        set().union(*[set(b) for b in boards_by_window.values()] or [set()])
+    ):
+        trace = transitions_by_board.get(board_index, [])
+        for w_index in sorted(boards_by_window):
+            board = boards_by_window[w_index].get(board_index)
+            if board is None:
+                continue
+            state = "closed"
+            for t_window, _from, to_state in trace:
+                if isinstance(t_window, int) and t_window <= w_index:
+                    state = to_state
+            if board.get("breaker_state") != state:
+                findings.append(
+                    VerifyFinding(
+                        code="FLT003",
+                        severity=ERROR,
+                        message=(
+                            f"board {board_index} records breaker state "
+                            f"{board.get('breaker_state')!r} in window "
+                            f"{w_index} but the transition trace "
+                            f"replays to {state!r}"
+                        ),
+                        location=f"windows[{w_index}]",
+                    )
+                )
+
+    # FLT004 — overload sheds evict the lowest priority first
+    for event in events:
+        if not isinstance(event, dict) or event.get("kind") != "shed":
+            continue
+        if not str(event.get("detail", "")).startswith("overload"):
+            continue
+        w_index = event.get("window_index")
+        victim = tenants_by_window.get(w_index, {}).get(
+            event.get("tenant_id")
+        )
+        if victim is None:
+            continue
+        victim_priority = victim.get("priority")
+        for tenant_id in sorted(tenants_by_window.get(w_index, {})):
+            tenant = tenants_by_window[w_index][tenant_id]
+            if (
+                tenant.get("state") == "running"
+                and tenant.get("board_index") == event.get("board_index")
+                and isinstance(tenant.get("priority"), int)
+                and isinstance(victim_priority, int)
+                and tenant["priority"] < victim_priority
+            ):
+                findings.append(
+                    VerifyFinding(
+                        code="FLT004",
+                        severity=ERROR,
+                        message=(
+                            f"shed victim {event.get('tenant_id')} "
+                            f"(priority {victim_priority}) outranks "
+                            f"still-running tenant {tenant_id} "
+                            f"(priority {tenant['priority']}) on board "
+                            f"{event.get('board_index')}"
+                        ),
+                        location=f"events[{event.get('sequence')}]",
+                    )
+                )
+
+    # FLT005 — queued retry delays bounded by the backoff cap
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        if event.get("kind") not in ("queue", "shed"):
+            continue
+        match = _RETRY_DELAY_PATTERN.search(str(event.get("detail", "")))
+        if match is None:
+            continue
+        delay = float(match.group(1))
+        if delay > _FLEET_BACKOFF_CAP_WINDOWS + 1e-9:
+            findings.append(
+                VerifyFinding(
+                    code="FLT005",
+                    severity=ERROR,
+                    message=(
+                        f"retry delay {delay} windows exceeds the "
+                        f"backoff cap {_FLEET_BACKOFF_CAP_WINDOWS}"
+                    ),
+                    location=f"events[{event.get('sequence')}]",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -883,7 +1148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis.verify",
         description=(
             "trace-stream and health-report invariant verifier "
-            "(TRC001-TRC007, HLT001-HLT003)"
+            "(TRC001-TRC007, HLT001-HLT003, FLT001-FLT005)"
         ),
     )
     parser.add_argument("traces", nargs="+", metavar="TRACE.json")
@@ -929,7 +1194,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
                 status = 2
                 continue
-        if isinstance(payload, dict) and "windows" in payload:
+        if isinstance(payload, dict) and payload.get("schema_version") == 2:
+            checked = verify_fleet_health(payload)
+        elif isinstance(payload, dict) and "windows" in payload:
             checked = verify_health(payload)
         else:
             checked = verify_chrome_payload(payload)

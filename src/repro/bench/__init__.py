@@ -18,6 +18,7 @@ from repro.bench.exp_ablations import (
 )
 from repro.bench.exp_chaos import chaos_recovery
 from repro.bench.exp_dag import dag_decompression
+from repro.bench.exp_fleet import fleet_capacity
 from repro.bench.exp_endtoend import (
     fig05_state_sharing,
     fig07_energy,
@@ -70,6 +71,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig9": fig09_adaptivity,
     "adaptive": adaptive_drift,
     "chaos": chaos_recovery,
+    "fleet": fleet_capacity,
     "fig10": fig10_latency_constraint,
     "fig11": fig11_batch_size,
     "fig12": fig12_vocabulary_duplication,

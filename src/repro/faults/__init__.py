@@ -15,6 +15,10 @@ would cycle through :mod:`repro.runtime`.
 
 from repro.faults.model import (
     BatchCorruption,
+    BoardCrash,
+    BoardEvent,
+    BoardReboot,
+    BoardThrottle,
     CoreFailure,
     CoreStall,
     CorruptedBatch,
@@ -28,6 +32,10 @@ from repro.faults.model import (
 
 __all__ = [
     "BatchCorruption",
+    "BoardCrash",
+    "BoardEvent",
+    "BoardReboot",
+    "BoardThrottle",
     "CoreFailure",
     "CoreStall",
     "CorruptedBatch",

@@ -1,0 +1,88 @@
+"""Fleet chaos arm: named board-level fault scenarios.
+
+The single-board chaos harness (:mod:`repro.faults.chaos`) aims typed
+core/stream faults at one session; this module is its fleet analogue —
+it builds :class:`~repro.faults.model.FaultPlan` objects out of the
+board-level events (:class:`~repro.faults.model.BoardCrash`,
+:class:`~repro.faults.model.BoardReboot`,
+:class:`~repro.faults.model.BoardThrottle`) that the fleet gateway
+(:mod:`repro.fleet.gateway`) consumes window by window. The scenario
+comparison itself (static vs shedding vs shedding+failover arms) lives
+in :mod:`repro.fleet.scenario`, which imports this module — never the
+other way round, so the fault layer stays dependency-light.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.faults.model import (
+    BoardCrash,
+    BoardThrottle,
+    FaultPlan,
+)
+
+__all__ = [
+    "FLEET_SCENARIOS",
+    "build_fleet_fault_plan",
+]
+
+#: named board-level fault scenarios ``cstream serve`` and the fleet
+#: bench sweep understand
+FLEET_SCENARIOS = (
+    "none",
+    "board-crash",
+    "board-crash-reboot",
+    "board-throttle",
+)
+
+
+def build_fleet_fault_plan(
+    scenario: str,
+    board_index: int = 0,
+    at_window: int = 3,
+    reboot_after_windows: int = 4,
+    throttle_mhz: float = 408.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """The scenario's board-level fault events, aimed at ``board_index``.
+
+    ``board_index`` is a position in the fleet's board list; the fleet
+    scenario glue aims it at the most-loaded board by default, the same
+    way single-board chaos targets the static plan's most load-bearing
+    core.
+    """
+    if scenario not in FLEET_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown fleet scenario {scenario!r}; "
+            f"expected one of {FLEET_SCENARIOS}"
+        )
+    if scenario == "none":
+        return FaultPlan(seed=seed)
+    if scenario == "board-crash":
+        return FaultPlan(
+            events=(
+                BoardCrash(board_index=board_index, at_window=at_window),
+            ),
+            seed=seed,
+        )
+    if scenario == "board-crash-reboot":
+        return FaultPlan(
+            events=(
+                BoardCrash(
+                    board_index=board_index,
+                    at_window=at_window,
+                    reboot_after_windows=reboot_after_windows,
+                ),
+            ),
+            seed=seed,
+        )
+    return FaultPlan(
+        events=(
+            BoardThrottle(
+                board_index=board_index,
+                at_window=at_window,
+                frequency_mhz=throttle_mhz,
+            ),
+        ),
+        seed=seed,
+    )

@@ -22,6 +22,17 @@ Real boards degrade in more ways than that, so a
   batch's latency (and energy) inflates before it can count as a
   constraint violation.
 
+Board-level events extend the same plan to the fleet tier
+(:mod:`repro.fleet`): a :class:`BoardCrash` kills a whole board (all
+cores, all tenants) at a window boundary, optionally rebooting after a
+fixed number of windows; a :class:`BoardReboot` brings a crashed board
+back explicitly; a :class:`BoardThrottle` is a sustained thermal cap on
+every core of a board (the fleet analogue of :class:`DvfsThrottle`).
+Board events are keyed by *window*, not batch — the fleet gateway ticks
+in windows — and are ignored by the single-board executor, so a fault
+plan that mixes both levels drives a fleet scenario and its per-board
+inner sessions from one declarative object.
+
 Determinism: corruption draws come from a dedicated
 ``default_rng(plan.seed, repetition)`` stream computed *before* the
 simulation starts (:func:`corruption_schedule`), so the schedule is
@@ -51,7 +62,11 @@ __all__ = [
     "DvfsThrottle",
     "InterconnectDegradation",
     "BatchCorruption",
+    "BoardCrash",
+    "BoardReboot",
+    "BoardThrottle",
     "FaultEvent",
+    "BoardEvent",
     "FaultPlan",
     "CorruptedBatch",
     "FiredFault",
@@ -202,15 +217,98 @@ class BatchCorruption:
         return self.until_batch is None or batch_index < self.until_batch
 
 
+def _check_window(at_window: int) -> None:
+    if at_window < 0:
+        raise ConfigurationError("at_window must be non-negative")
+
+
+def _check_board(board_index: int) -> None:
+    if board_index < 0:
+        raise ConfigurationError("board_index must be non-negative")
+
+
+@dataclass(frozen=True)
+class BoardCrash:
+    """A whole board dies at window ``at_window`` (power loss, kernel
+    panic, watchdog reset). Every tenant placed on it is stranded until
+    the fleet scheduler re-places them; window RPCs to the board time
+    out. ``reboot_after_windows`` brings the board back automatically
+    that many windows later (None: it stays down)."""
+
+    board_index: int
+    at_window: int
+    reboot_after_windows: Optional[int] = None
+
+    kind = "board-crash"
+
+    def __post_init__(self) -> None:
+        _check_board(self.board_index)
+        _check_window(self.at_window)
+        if self.reboot_after_windows is not None and (
+            self.reboot_after_windows < 1
+        ):
+            raise ConfigurationError(
+                "reboot_after_windows must be at least 1 (or None)"
+            )
+
+
+@dataclass(frozen=True)
+class BoardReboot:
+    """A crashed board comes back at window ``at_window`` — cold, empty
+    (its tenants were lost or migrated), and behind a half-open circuit
+    breaker until a probe window succeeds."""
+
+    board_index: int
+    at_window: int
+
+    kind = "board-reboot"
+
+    def __post_init__(self) -> None:
+        _check_board(self.board_index)
+        _check_window(self.at_window)
+
+
+@dataclass(frozen=True)
+class BoardThrottle:
+    """Sustained thermal throttle on every core of a board from window
+    ``at_window``: the fleet analogue of :class:`DvfsThrottle`. Each
+    tenant's heartbeat reports the capped frequency, so their embedded
+    controllers replan around it; ``duration_windows`` lifts the cap
+    again (None: it persists)."""
+
+    board_index: int
+    at_window: int
+    frequency_mhz: float
+    duration_windows: Optional[int] = None
+
+    kind = "board-throttle"
+
+    def __post_init__(self) -> None:
+        _check_board(self.board_index)
+        _check_window(self.at_window)
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError("capped frequency must be positive")
+        if self.duration_windows is not None and self.duration_windows < 1:
+            raise ConfigurationError(
+                "duration_windows must be at least 1 (or None)"
+            )
+
+
 FaultEvent = Union[
     CoreFailure, CoreStall, DvfsThrottle, InterconnectDegradation,
-    BatchCorruption,
+    BatchCorruption, BoardCrash, BoardReboot, BoardThrottle,
 ]
+
+BoardEvent = Union[BoardCrash, BoardReboot, BoardThrottle]
 
 #: events that fire at a batch boundary (corruption is per-delivery)
 _BOUNDARY_EVENTS = (
     CoreFailure, CoreStall, DvfsThrottle, InterconnectDegradation,
 )
+
+#: fleet-level events, keyed by window; the single-board executor
+#: ignores them entirely
+_BOARD_EVENTS = (BoardCrash, BoardReboot, BoardThrottle)
 
 
 @dataclass(frozen=True)
@@ -223,7 +321,7 @@ class FaultPlan:
     def __post_init__(self) -> None:
         for event in self.events:
             if not isinstance(
-                event, _BOUNDARY_EVENTS + (BatchCorruption,)
+                event, _BOUNDARY_EVENTS + (BatchCorruption,) + _BOARD_EVENTS
             ):
                 raise ConfigurationError(
                     f"not a fault event: {event!r}"
@@ -234,11 +332,46 @@ class FaultPlan:
         return not self.events
 
     def events_for(self, repetition: int) -> Tuple[FaultEvent, ...]:
-        """The events active in ``repetition`` (None = every repetition)."""
+        """The events active in ``repetition`` (None = every repetition).
+
+        Board-level events carry no repetition (the fleet tier runs one
+        window sequence, not repeated measurements) and are excluded.
+        """
         return tuple(
             event for event in self.events
-            if event.repetition is None or event.repetition == repetition
+            if not isinstance(event, _BOARD_EVENTS)
+            and (event.repetition is None or event.repetition == repetition)
         )
+
+    def board_events(self) -> Tuple[BoardEvent, ...]:
+        """The fleet-level events, in plan order."""
+        return tuple(
+            event for event in self.events
+            if isinstance(event, _BOARD_EVENTS)
+        )
+
+    def board_schedule(self) -> Dict[int, Tuple[BoardEvent, ...]]:
+        """Board-level events keyed by window index.
+
+        A key of ``w`` fires at the *start* of window ``w``, before that
+        window's admissions and RPCs — a board crashed at window 4 times
+        out its window-4 RPC. Implicit reboots
+        (``BoardCrash.reboot_after_windows``) are materialized as
+        :class:`BoardReboot` entries so consumers see one schedule.
+        """
+        schedule: Dict[int, List[BoardEvent]] = {}
+        for event in self.board_events():
+            schedule.setdefault(event.at_window, []).append(event)
+            if (
+                isinstance(event, BoardCrash)
+                and event.reboot_after_windows is not None
+            ):
+                reboot = BoardReboot(
+                    board_index=event.board_index,
+                    at_window=event.at_window + event.reboot_after_windows,
+                )
+                schedule.setdefault(reboot.at_window, []).append(reboot)
+        return {window: tuple(events) for window, events in schedule.items()}
 
     def schedule_for(
         self, repetition: int

@@ -34,9 +34,18 @@ import numbers
 import sys
 from typing import Any, List
 
-from repro.analysis.verify import verify_chrome_payload, verify_health
+from repro.analysis.verify import (
+    verify_chrome_payload,
+    verify_fleet_health,
+    verify_health,
+)
 
-__all__ = ["validate_trace", "validate_health", "main"]
+__all__ = [
+    "validate_trace",
+    "validate_health",
+    "validate_fleet_health",
+    "main",
+]
 
 #: phases the exporter emits (subset of the full trace-event spec)
 _KNOWN_PHASES = {"X", "i", "C", "M"}
@@ -215,17 +224,176 @@ def _check_health_window(index: int, window: Any, problems: List[str]) -> None:
                     f"{a_where}: {name!r} must be a finite number")
 
 
+# -- fleet health (schema v2) -------------------------------------------------
+
+_FLEET_SESSION_FIELDS = {
+    "schema_version", "label", "arm", "seed", "board_count",
+    "tenant_count", "energy_budget_uj_per_window", "windows", "events",
+}
+_FLEET_WINDOW_FIELDS = {
+    "window_index", "boards", "tenants", "violations", "energy_uj",
+}
+_FLEET_BOARD_FIELDS = {
+    "board_index", "name", "kind", "alive", "breaker_state",
+    "consecutive_failures", "throttled_mhz", "max_core_load",
+    "tenants_running", "rpc_failures",
+}
+_FLEET_TENANT_FIELDS = {
+    "tenant_id", "name", "priority", "state", "board_index",
+    "l_set_us_per_byte", "modeled_latency_us_per_byte",
+    "measured_latency_us_per_byte", "modeled_energy_uj_per_byte",
+    "violated",
+}
+_FLEET_EVENT_FIELDS = {
+    "sequence", "window_index", "kind", "tenant_id", "board_index",
+    "detail",
+}
+_FLEET_BREAKER_STATES = {"closed", "open", "half-open"}
+_FLEET_TENANT_STATES = {
+    "pending", "queued", "running", "stranded", "rejected",
+}
+_FLEET_EVENT_KINDS = {
+    "admit", "reject", "queue", "retry", "shed", "failover", "breaker",
+    "board-crash", "board-reboot", "board-throttle", "rpc-failure",
+}
+
+
+def _check_int(where: str, value: Any, problems: List[str]) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        problems.append(f"{where}: must be an integer")
+
+
+def _check_fleet_window(index: int, window: Any, problems: List[str]) -> None:
+    where = f"windows[{index}]"
+    if not _check_fields(where, window, _FLEET_WINDOW_FIELDS, problems):
+        return
+    _check_int(f"{where}.window_index", window["window_index"], problems)
+    _check_int(f"{where}.violations", window["violations"], problems)
+    if not _finite(window["energy_uj"]):
+        problems.append(f"{where}: 'energy_uj' must be a finite number")
+    boards = window["boards"]
+    if not isinstance(boards, list):
+        problems.append(f"{where}: 'boards' must be an array")
+        boards = []
+    for b_index, board in enumerate(boards):
+        b_where = f"{where}.boards[{b_index}]"
+        if not _check_fields(b_where, board, _FLEET_BOARD_FIELDS, problems):
+            continue
+        _check_int(f"{b_where}.board_index", board["board_index"], problems)
+        _check_int(
+            f"{b_where}.consecutive_failures",
+            board["consecutive_failures"], problems,
+        )
+        _check_int(f"{b_where}.tenants_running",
+                   board["tenants_running"], problems)
+        _check_int(f"{b_where}.rpc_failures",
+                   board["rpc_failures"], problems)
+        if not isinstance(board["alive"], bool):
+            problems.append(f"{b_where}: 'alive' must be a boolean")
+        if board["breaker_state"] not in _FLEET_BREAKER_STATES:
+            problems.append(
+                f"{b_where}: unknown breaker state "
+                f"{board['breaker_state']!r}")
+        if board["throttled_mhz"] is not None and not _finite(
+            board["throttled_mhz"]
+        ):
+            problems.append(
+                f"{b_where}: 'throttled_mhz' must be null or finite")
+        if not _finite(board["max_core_load"]):
+            problems.append(
+                f"{b_where}: 'max_core_load' must be a finite number")
+    tenants = window["tenants"]
+    if not isinstance(tenants, list):
+        problems.append(f"{where}: 'tenants' must be an array")
+        tenants = []
+    for t_index, tenant in enumerate(tenants):
+        t_where = f"{where}.tenants[{t_index}]"
+        if not _check_fields(t_where, tenant, _FLEET_TENANT_FIELDS, problems):
+            continue
+        _check_int(f"{t_where}.tenant_id", tenant["tenant_id"], problems)
+        _check_int(f"{t_where}.priority", tenant["priority"], problems)
+        if tenant["state"] not in _FLEET_TENANT_STATES:
+            problems.append(
+                f"{t_where}: unknown tenant state {tenant['state']!r}")
+        if tenant["board_index"] is not None:
+            _check_int(
+                f"{t_where}.board_index", tenant["board_index"], problems)
+        for name in (
+            "l_set_us_per_byte", "modeled_latency_us_per_byte",
+            "measured_latency_us_per_byte", "modeled_energy_uj_per_byte",
+        ):
+            if not _finite(tenant[name]):
+                problems.append(
+                    f"{t_where}: {name!r} must be a finite number")
+        if not isinstance(tenant["violated"], bool):
+            problems.append(f"{t_where}: 'violated' must be a boolean")
+
+
+def validate_fleet_health(payload: Any) -> List[str]:
+    """All schema violations in a parsed fleet health report (v2).
+
+    Schema problems first; when the shape is sound the fleet invariants
+    (``FLT001``-``FLT005``) are delegated to
+    :func:`repro.analysis.verify.verify_fleet_health`.
+    """
+    problems: List[str] = []
+    if not _check_fields(
+        "top level", payload, _FLEET_SESSION_FIELDS, problems
+    ):
+        return problems
+    for name in ("label", "arm"):
+        if not isinstance(payload[name], str) or not payload[name]:
+            problems.append(f"top level: {name!r} must be a non-empty string")
+    for name in ("schema_version", "seed", "board_count", "tenant_count"):
+        _check_int(f"top level.{name}", payload[name], problems)
+    if not _finite(payload["energy_budget_uj_per_window"]):
+        problems.append(
+            "top level: 'energy_budget_uj_per_window' must be a finite "
+            "number")
+    windows = payload["windows"]
+    if not isinstance(windows, list):
+        return problems + ["top level: 'windows' must be an array"]
+    for index, window in enumerate(windows):
+        _check_fleet_window(index, window, problems)
+    events = payload["events"]
+    if not isinstance(events, list):
+        return problems + ["top level: 'events' must be an array"]
+    for index, event in enumerate(events):
+        e_where = f"events[{index}]"
+        if not _check_fields(e_where, event, _FLEET_EVENT_FIELDS, problems):
+            continue
+        _check_int(f"{e_where}.sequence", event["sequence"], problems)
+        _check_int(f"{e_where}.window_index", event["window_index"], problems)
+        if event["kind"] not in _FLEET_EVENT_KINDS:
+            problems.append(
+                f"{e_where}: unknown event kind {event['kind']!r}")
+        if event["tenant_id"] is not None:
+            _check_int(f"{e_where}.tenant_id", event["tenant_id"], problems)
+        if event["board_index"] is not None:
+            _check_int(
+                f"{e_where}.board_index", event["board_index"], problems)
+        if not isinstance(event["detail"], str):
+            problems.append(f"{e_where}: 'detail' must be a string")
+    if not problems:
+        for finding in verify_fleet_health(payload):
+            if finding.severity == "error":
+                problems.append(finding.format())
+    return problems
+
+
 def validate_health(payload: Any) -> List[str]:
     """All schema violations in a parsed health report (empty = valid).
 
-    Accepts either a full session report (object with ``windows``) or a
-    single per-window NDJSON record. Schema problems are reported
-    first; when the shape is sound the arithmetic invariants
-    (``HLT001``-``HLT003``) are delegated to
-    :func:`repro.analysis.verify.verify_health` so the two tools cannot
-    drift.
+    Accepts a full session report (object with ``windows``), a single
+    per-window NDJSON record, or a fleet report — dispatched on
+    ``schema_version`` 2. Schema problems are reported first; when the
+    shape is sound the arithmetic invariants (``HLT001``-``HLT003``, or
+    ``FLT001``-``FLT005`` for fleet reports) are delegated to
+    :mod:`repro.analysis.verify` so the two tools cannot drift.
     """
     problems: List[str] = []
+    if isinstance(payload, dict) and payload.get("schema_version") == 2:
+        return validate_fleet_health(payload)
     if isinstance(payload, dict) and "windows" not in payload:
         # A lone NDJSON window record.
         _check_health_window(0, payload, problems)

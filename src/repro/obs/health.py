@@ -1,14 +1,22 @@
-"""Session health reports built from the residual ledger.
+"""Session and fleet health reports.
 
-A :class:`SessionHealth` is the operator-facing summary of one windowed
-session: per window, the measured-vs-predicted latency and energy, the
-attributed residual, and — when a component's anomaly score clears the
-threshold — a named culprit (:class:`Attribution`): a degraded
-interconnect path, a retry-heavy stage, or an underperforming core.
+A :class:`SessionHealth` (schema v1) is the operator-facing summary of
+one windowed session: per window, the measured-vs-predicted latency and
+energy, the attributed residual, and — when a component's anomaly score
+clears the threshold — a named culprit (:class:`Attribution`): a
+degraded interconnect path, a retry-heavy stage, or an underperforming
+core.
 
-The report round-trips through JSON (``to_json``/``from_json``) and is
+A :class:`FleetHealth` (schema v2) is the fleet gateway's analogue: per
+window, the state of every board (liveness, breaker state, core load)
+and every tenant (placement, SLO compliance, energy), plus the ordered
+event log (admissions, rejections, sheds, failovers, breaker
+transitions, board faults) that makes the run replayable.
+
+Both reports round-trip through JSON (``to_json``/``from_json``) and are
 what :mod:`repro.obs.check` validates and :mod:`repro.obs.live` streams;
-:mod:`repro.analysis.verify` enforces its arithmetic (HLT001-003).
+:mod:`repro.analysis.verify` enforces their invariants (HLT001-003 for
+v1, FLT001-005 for v2 — dispatched on ``schema_version``).
 """
 
 from __future__ import annotations
@@ -22,13 +30,20 @@ from repro.obs.residuals import WindowResidual
 
 __all__ = [
     "HEALTH_SCHEMA_VERSION",
+    "FLEET_HEALTH_SCHEMA_VERSION",
     "Attribution",
     "WindowHealth",
     "SessionHealth",
     "build_window_health",
+    "FleetBoardHealth",
+    "FleetTenantHealth",
+    "FleetEvent",
+    "FleetWindowHealth",
+    "FleetHealth",
 ]
 
 HEALTH_SCHEMA_VERSION = 1
+FLEET_HEALTH_SCHEMA_VERSION = 2
 
 #: anomaly score above which a window's top component is named
 DEFAULT_ANOMALY_THRESHOLD = 3.0
@@ -261,3 +276,281 @@ class SessionHealth:
             if not all(math.isfinite(v) for v in values):
                 return False
         return math.isfinite(self.latency_constraint_us_per_byte)
+
+
+# -- fleet health (schema v2) -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetBoardHealth:
+    """One board's state at the end of one gateway window."""
+
+    board_index: int
+    name: str
+    kind: str
+    alive: bool
+    #: circuit-breaker state: "closed", "open", or "half-open"
+    breaker_state: str
+    consecutive_failures: int
+    #: sustained DVFS cap in force, or None at nominal frequency
+    throttled_mhz: Optional[float]
+    #: utilization of the most-loaded core (busy-µs / window period)
+    max_core_load: float
+    tenants_running: int
+    #: window RPCs against this board that failed (after retries)
+    rpc_failures: int
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "board_index": self.board_index,
+            "name": self.name,
+            "kind": self.kind,
+            "alive": self.alive,
+            "breaker_state": self.breaker_state,
+            "consecutive_failures": self.consecutive_failures,
+            "throttled_mhz": self.throttled_mhz,
+            "max_core_load": self.max_core_load,
+            "tenants_running": self.tenants_running,
+            "rpc_failures": self.rpc_failures,
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, object]) -> "FleetBoardHealth":
+        throttled = record["throttled_mhz"]
+        return FleetBoardHealth(
+            board_index=int(record["board_index"]),
+            name=str(record["name"]),
+            kind=str(record["kind"]),
+            alive=bool(record["alive"]),
+            breaker_state=str(record["breaker_state"]),
+            consecutive_failures=int(record["consecutive_failures"]),
+            throttled_mhz=None if throttled is None else float(throttled),
+            max_core_load=float(record["max_core_load"]),
+            tenants_running=int(record["tenants_running"]),
+            rpc_failures=int(record["rpc_failures"]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetTenantHealth:
+    """One tenant's state at the end of one gateway window."""
+
+    tenant_id: int
+    name: str
+    priority: int
+    #: "running", "queued" (awaiting admission/re-admission),
+    #: "stranded" (board dead, no failover arm), or "rejected" (final)
+    state: str
+    #: hosting board while running/stranded, else None
+    board_index: Optional[int]
+    l_set_us_per_byte: float
+    modeled_latency_us_per_byte: float
+    #: synthesized measurement (0.0 while not running)
+    measured_latency_us_per_byte: float
+    modeled_energy_uj_per_byte: float
+    violated: bool
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "tenant_id": self.tenant_id,
+            "name": self.name,
+            "priority": self.priority,
+            "state": self.state,
+            "board_index": self.board_index,
+            "l_set_us_per_byte": self.l_set_us_per_byte,
+            "modeled_latency_us_per_byte": self.modeled_latency_us_per_byte,
+            "measured_latency_us_per_byte": self.measured_latency_us_per_byte,
+            "modeled_energy_uj_per_byte": self.modeled_energy_uj_per_byte,
+            "violated": self.violated,
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, object]) -> "FleetTenantHealth":
+        board = record["board_index"]
+        return FleetTenantHealth(
+            tenant_id=int(record["tenant_id"]),
+            name=str(record["name"]),
+            priority=int(record["priority"]),
+            state=str(record["state"]),
+            board_index=None if board is None else int(board),
+            l_set_us_per_byte=float(record["l_set_us_per_byte"]),
+            modeled_latency_us_per_byte=float(
+                record["modeled_latency_us_per_byte"]),
+            measured_latency_us_per_byte=float(
+                record["measured_latency_us_per_byte"]),
+            modeled_energy_uj_per_byte=float(
+                record["modeled_energy_uj_per_byte"]),
+            violated=bool(record["violated"]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One entry of the gateway's ordered event log."""
+
+    #: running sequence number — total order across the whole run
+    sequence: int
+    window_index: int
+    #: "admit", "reject", "queue", "retry", "shed", "failover",
+    #: "breaker", "board-crash", "board-reboot", "board-throttle",
+    #: "rpc-failure"
+    kind: str
+    tenant_id: Optional[int]
+    board_index: Optional[int]
+    detail: str
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "sequence": self.sequence,
+            "window_index": self.window_index,
+            "kind": self.kind,
+            "tenant_id": self.tenant_id,
+            "board_index": self.board_index,
+            "detail": self.detail,
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, object]) -> "FleetEvent":
+        tenant = record["tenant_id"]
+        board = record["board_index"]
+        return FleetEvent(
+            sequence=int(record["sequence"]),
+            window_index=int(record["window_index"]),
+            kind=str(record["kind"]),
+            tenant_id=None if tenant is None else int(tenant),
+            board_index=None if board is None else int(board),
+            detail=str(record["detail"]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetWindowHealth:
+    """One gateway window: every board and tenant, plus aggregates."""
+
+    window_index: int
+    boards: Tuple[FleetBoardHealth, ...]
+    tenants: Tuple[FleetTenantHealth, ...]
+    #: tenants whose measured latency breached their l_set (stranded
+    #: tenants count — their stream is down, the SLO is being violated)
+    violations: int
+    #: modeled fleet energy spent this window, µJ
+    energy_uj: float
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "window_index": self.window_index,
+            "boards": [b.to_record() for b in self.boards],
+            "tenants": [t.to_record() for t in self.tenants],
+            "violations": self.violations,
+            "energy_uj": self.energy_uj,
+        }
+
+    @staticmethod
+    def from_record(record: Dict[str, object]) -> "FleetWindowHealth":
+        return FleetWindowHealth(
+            window_index=int(record["window_index"]),
+            boards=tuple(
+                FleetBoardHealth.from_record(b) for b in record["boards"]
+            ),
+            tenants=tuple(
+                FleetTenantHealth.from_record(t) for t in record["tenants"]
+            ),
+            violations=int(record["violations"]),
+            energy_uj=float(record["energy_uj"]),
+        )
+
+
+@dataclass(frozen=True)
+class FleetHealth:
+    """Whole-run fleet health report (schema v2)."""
+
+    label: str
+    #: scenario arm: "static", "shed", or "shed-failover"
+    arm: str
+    seed: int
+    board_count: int
+    tenant_count: int
+    #: fleet-wide energy budget the admission controller enforced, µJ
+    #: per window
+    energy_budget_uj_per_window: float
+    windows: Tuple[FleetWindowHealth, ...]
+    events: Tuple[FleetEvent, ...]
+    schema_version: int = FLEET_HEALTH_SCHEMA_VERSION
+
+    # -- aggregates ----------------------------------------------------------
+
+    def total_violations(self) -> int:
+        return sum(w.violations for w in self.windows)
+
+    def violations_after(self, window_index: int) -> int:
+        """SLO violations in windows ``>= window_index`` (steady state
+        after warmup, or post-fault accounting)."""
+        return sum(
+            w.violations for w in self.windows
+            if w.window_index >= window_index
+        )
+
+    def admitted_tenants(self) -> Tuple[int, ...]:
+        """Tenant ids that were admitted at least once, in id order."""
+        admitted = {
+            e.tenant_id for e in self.events
+            if e.kind == "admit" and e.tenant_id is not None
+        }
+        return tuple(sorted(admitted))
+
+    def events_of(self, kind: str) -> Tuple[FleetEvent, ...]:
+        return tuple(e for e in self.events if e.kind == kind)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "schema_version": self.schema_version,
+            "label": self.label,
+            "arm": self.arm,
+            "seed": self.seed,
+            "board_count": self.board_count,
+            "tenant_count": self.tenant_count,
+            "energy_budget_uj_per_window":
+                self.energy_budget_uj_per_window,
+            "windows": [w.to_record() for w in self.windows],
+            "events": [e.to_record() for e in self.events],
+        }, indent=2, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "FleetHealth":
+        payload = json.loads(text)
+        return FleetHealth(
+            label=str(payload["label"]),
+            arm=str(payload["arm"]),
+            seed=int(payload["seed"]),
+            board_count=int(payload["board_count"]),
+            tenant_count=int(payload["tenant_count"]),
+            energy_budget_uj_per_window=float(
+                payload["energy_budget_uj_per_window"]),
+            windows=tuple(
+                FleetWindowHealth.from_record(w) for w in payload["windows"]
+            ),
+            events=tuple(
+                FleetEvent.from_record(e) for e in payload["events"]
+            ),
+            schema_version=int(payload["schema_version"]),
+        )
+
+    def finite(self) -> bool:
+        """True when every numeric field in the report is finite."""
+        values: List[float] = [self.energy_budget_uj_per_window]
+        for window in self.windows:
+            values.append(window.energy_uj)
+            for board in window.boards:
+                values.append(board.max_core_load)
+                if board.throttled_mhz is not None:
+                    values.append(board.throttled_mhz)
+            for tenant in window.tenants:
+                values.extend([
+                    tenant.l_set_us_per_byte,
+                    tenant.modeled_latency_us_per_byte,
+                    tenant.measured_latency_us_per_byte,
+                    tenant.modeled_energy_uj_per_byte,
+                ])
+        return all(math.isfinite(v) for v in values)

@@ -455,9 +455,10 @@ def two_stage_plan(steps0, steps1, assignments):
 
 class TestPlanInvariants:
     def test_invariant_table(self):
-        assert len(INVARIANTS) == 16
+        assert len(INVARIANTS) == 21
         assert sum(1 for code in INVARIANTS if code.startswith("PLN")) == 6
         assert sum(1 for code in INVARIANTS if code.startswith("HLT")) == 3
+        assert sum(1 for code in INVARIANTS if code.startswith("FLT")) == 5
 
     def test_pln001_cyclic_plan(self):
         # t0 runs s1, t1 runs s0 — the pipeline order contradicts the

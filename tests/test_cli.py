@@ -130,3 +130,79 @@ class TestBench:
             ]
         ) == 0
         assert "4 hits / 4 lookups" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_compare_prints_all_arms_and_writes_health(
+        self, tmp_path, capsys
+    ):
+        health_path = tmp_path / "fleet.json"
+        assert main(
+            [
+                "serve", "--compare", "--windows", "8",
+                "--health-out", str(health_path),
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        for arm in ("static", "shed ", "shed-failover"):
+            assert arm in output
+        assert "failovers=1" in output
+        payload = health_path.read_text()
+        assert '"schema_version": 2' in payload
+
+    def test_top_renders_fleet_report(self, tmp_path, capsys):
+        health_path = tmp_path / "fleet.json"
+        prom_path = tmp_path / "fleet.prom"
+        main(
+            [
+                "serve", "--arm", "shed-failover", "--windows", "8",
+                "--health-out", str(health_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            ["top", str(health_path), "--prom", str(prom_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "breaker" in output
+        assert "DEAD" in output  # the crashed board
+        assert "tenant-0" in output
+        prom = prom_path.read_text()
+        assert "cstream_fleet_board_alive" in prom
+        assert "cstream_fleet_tenant_l_set_us_per_byte" in prom
+
+    def test_serve_top_flag_prints_dashboard(self, capsys):
+        assert main(
+            ["serve", "--arm", "static", "--windows", "6", "--top"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "window 5" in output
+        assert "rk3399-0" in output
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scenario", "meteor-strike"])
+
+
+class TestAdaptDefaults:
+    def test_jetson_gets_its_own_default_l_set(self, capsys):
+        assert main(
+            ["adapt", "--board", "jetson", "--batches", "6"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "L_set=8.0" in output
+        assert "Jetson" in output
+
+    def test_rk3399_default_unchanged(self, capsys):
+        assert main(["adapt", "--batches", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "L_set=20.0" in output
+
+    def test_explicit_constraint_wins(self, capsys):
+        assert main(
+            [
+                "adapt", "--board", "jetson", "--batches", "6",
+                "--latency-constraint", "11.5",
+            ]
+        ) == 0
+        assert "L_set=11.5" in capsys.readouterr().out

@@ -38,8 +38,9 @@ REPS = 6
 class TestRegistry:
     def test_registry_size(self):
         # 16 paper items + 5 reproduction ablations + adaptive loop
-        # + chaos recovery + the fork-join decompression grid.
-        assert len(EXPERIMENTS) == 24
+        # + chaos recovery + the fork-join decompression grid
+        # + the fleet capacity sweep.
+        assert len(EXPERIMENTS) == 25
 
     def test_every_paper_item_present(self):
         expected = {
@@ -48,7 +49,10 @@ class TestRegistry:
             "fig17", "tab4", "tab5",
         }
         assert expected <= set(EXPERIMENTS)
-        extras = set(EXPERIMENTS) - expected - {"adaptive", "chaos", "dag"}
+        extras = (
+            set(EXPERIMENTS) - expected
+            - {"adaptive", "chaos", "dag", "fleet"}
+        )
         assert all(name.startswith("abl_") for name in extras)
 
     def test_unknown_id_rejected(self):

@@ -175,16 +175,26 @@ class TestFastPath:
         assert codec.decompress(codec.compress(data).payload) == data
 
     def test_fast_is_faster_on_large_batches(self, rng):
+        import os
         import time
 
+        if os.cpu_count() == 1:
+            pytest.skip("timing comparison is noise-bound on 1 CPU")
+
+        def best_of(codec, data, repetitions=3):
+            best = float("inf")
+            for _ in range(repetitions):
+                started = time.perf_counter()
+                codec.compress(data)
+                best = min(best, time.perf_counter() - started)
+            return best
+
         data = rng.integers(0, 1 << 32, 100_000, dtype=np.uint32).tobytes()
-        started = time.perf_counter()
-        Tcomp32(fast=True).compress(data)
-        fast_seconds = time.perf_counter() - started
-        started = time.perf_counter()
-        Tcomp32(fast=False).compress(data)
-        reference_seconds = time.perf_counter() - started
-        assert fast_seconds < reference_seconds
+        fast_seconds = best_of(Tcomp32(fast=True), data)
+        reference_seconds = best_of(Tcomp32(fast=False), data)
+        # relative margin: the vectorized path must win clearly, not by
+        # a scheduler-jitter-sized sliver
+        assert fast_seconds < reference_seconds * 0.8
 
 
 class TestCorruption:
